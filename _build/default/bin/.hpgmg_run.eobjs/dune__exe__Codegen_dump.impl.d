@@ -1,0 +1,1 @@
+bin/codegen_dump.ml: Arg Cmd Cmdliner Ivec List Operators Printf Sf_analysis Sf_backends Sf_codegen Sf_hpgmg Sf_util Snowflake String Term

@@ -1,0 +1,1 @@
+bin/codegen_dump.mli:

@@ -1,0 +1,1 @@
+bin/hpgmg_run.ml: Arg Array Cmd Cmdliner Config Jit Level List Mg Printf Problem Sf_backends Sf_hpgmg Term Unix

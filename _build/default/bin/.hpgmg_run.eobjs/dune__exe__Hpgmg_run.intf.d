@@ -1,0 +1,1 @@
+bin/hpgmg_run.mli:

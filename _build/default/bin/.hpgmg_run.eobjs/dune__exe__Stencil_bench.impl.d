@@ -1,0 +1,1 @@
+bin/stencil_bench.ml: Arg Baseline Bound Cmd Cmdliner Config Jit Kernel Level List Machine Operators Printf Problem Sf_backends Sf_harness Sf_hpgmg Sf_roofline Snowflake Stream String Term

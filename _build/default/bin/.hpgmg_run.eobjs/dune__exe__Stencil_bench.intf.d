@@ -1,0 +1,1 @@
+bin/stencil_bench.mli:

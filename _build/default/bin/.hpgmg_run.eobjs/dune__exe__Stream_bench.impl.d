@@ -1,0 +1,1 @@
+bin/stream_bench.ml: Arg Cmd Cmdliner Machine Printf Sf_roofline Stream Term

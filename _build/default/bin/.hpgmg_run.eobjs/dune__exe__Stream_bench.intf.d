@@ -1,0 +1,1 @@
+bin/stream_bench.mli:

@@ -1,0 +1,26 @@
+(* The Fig. 6 modified-STREAM benchmark as a standalone tool. *)
+
+open Cmdliner
+open Sf_roofline
+
+let run n trials =
+  let bw = Stream.measure ~n ~trials () in
+  Printf.printf
+    "modified STREAM (dot product), %d doubles x2, best of %d: %.2f GB/s\n" n
+    trials bw;
+  Printf.printf "paper reference points: %s %.1f GB/s, %s %.1f GB/s\n"
+    Machine.i7_4765t.Machine.name Machine.i7_4765t.Machine.bandwidth_gbs
+    Machine.k20c.Machine.name Machine.k20c.Machine.bandwidth_gbs
+
+let n_arg =
+  Arg.(value & opt int 4_000_000 & info [ "n" ] ~doc:"Elements per array.")
+
+let trials_arg =
+  Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Number of timed trials.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "stream_bench" ~doc:"Measure read-dominated memory bandwidth")
+    Term.(const run $ n_arg $ trials_arg)
+
+let () = exit (Cmd.eval cmd)

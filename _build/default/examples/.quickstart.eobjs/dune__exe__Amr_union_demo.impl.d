@@ -1,0 +1,1 @@
+examples/amr_union_demo.ml: Component Config Dependence Domain Footprint Grids Group Ivec Jit Kernel List Mesh Printf Schedule Sf_analysis Sf_backends Sf_mesh Sf_util Snowflake Stencil Weights

@@ -1,0 +1,1 @@
+examples/amr_union_demo.mli:

@@ -1,0 +1,1 @@
+examples/custom_backend.ml: Affine Component Config Domain Dsl Expr Footprint Grids Group Ivec Jit Kernel List Mesh Option Printf Sf_analysis Sf_backends Sf_mesh Sf_util Snowflake Stencil String Unix

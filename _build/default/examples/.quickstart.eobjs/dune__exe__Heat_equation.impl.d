@@ -1,0 +1,1 @@
+examples/heat_equation.ml: Array Domain Expr Format Grids Group Ivec Jit Kernel List Mesh Printf Sf_analysis Sf_backends Sf_mesh Sf_util Snowflake Stencil

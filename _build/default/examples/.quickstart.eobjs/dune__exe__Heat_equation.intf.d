@@ -1,0 +1,1 @@
+examples/heat_equation.mli:

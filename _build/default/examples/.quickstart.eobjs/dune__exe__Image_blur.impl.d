@@ -1,0 +1,1 @@
+examples/image_blur.ml: Array Config Domain Expr Float Grids Group Ivec Jit Kernel Mesh Printf Schedule Sf_analysis Sf_backends Sf_mesh Sf_util Snowflake Stencil

@@ -1,0 +1,1 @@
+examples/multigrid_demo.ml: Array Config Jit Level List Mesh Mg Printf Problem Sf_backends Sf_hpgmg Sf_mesh

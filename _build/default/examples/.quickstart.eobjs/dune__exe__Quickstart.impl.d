@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Component Domain Format Grids Group Ivec Jit Kernel Mesh Printf Sf_backends Sf_mesh Sf_util Snowflake Stencil Weights

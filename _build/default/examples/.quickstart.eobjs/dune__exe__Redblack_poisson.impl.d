@@ -1,0 +1,1 @@
+examples/redblack_poisson.ml: Affine Array Dependence Domain Expr Float Format Grids Group Ivec Jit Kernel List Mesh Printf Schedule Sf_analysis Sf_backends Sf_mesh Sf_util Snowflake Stencil

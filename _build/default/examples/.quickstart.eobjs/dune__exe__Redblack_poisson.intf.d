@@ -1,0 +1,1 @@
+examples/redblack_poisson.mli:

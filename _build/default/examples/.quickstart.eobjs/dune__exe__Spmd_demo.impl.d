@@ -1,0 +1,1 @@
+examples/spmd_demo.ml: Config Float Jit Kernel List Printf Schedule Sf_analysis Sf_backends Sf_distributed Sf_hpgmg Sf_mesh Snowflake Spmd String

@@ -1,0 +1,1 @@
+examples/spmd_demo.mli:

@@ -1,0 +1,1 @@
+examples/wave_2d.ml: Array Domain Expr Float Grids Group Ivec Jit Kernel Mesh Printf Sf_backends Sf_mesh Sf_util Snowflake Stencil

@@ -1,0 +1,1 @@
+examples/wave_2d.mli:

@@ -1,0 +1,89 @@
+(* Unions of rectangular domains — the AMR-flavoured feature (§II: "unions
+   of rectangular domains (used in adaptive mesh refinement)").
+
+     dune exec examples/amr_union_demo.exe
+
+   A smoothing operator is applied only on a union of two refinement
+   patches of a larger grid, while a different (cheap) operator covers the
+   rest is skipped entirely.  The demo also shows what the finite-domain
+   analysis buys: the two patch stencils are recognised as independent
+   (they can share a wave) exactly because their concrete rectangles are
+   disjoint — an infinite-domain analysis would have to serialise them. *)
+
+open Sf_util
+open Sf_mesh
+open Snowflake
+open Sf_analysis
+open Sf_backends
+
+let shape = Ivec.of_list [ 64; 64 ]
+
+let five_point grid =
+  Component.to_expr ~grid
+    (Weights.of_nested
+       (Weights.A
+          [
+            A [ W 0.; W 0.25; W 0. ];
+            A [ W 0.25; W 0.; W 0.25 ];
+            A [ W 0.; W 0.25; W 0. ];
+          ]))
+
+(* two refinement patches, as one stencil over a DomainUnion *)
+let patch_a = Domain.rect ~lo:[ 4; 4 ] ~hi:[ 20; 28 ] ()
+let patch_b = Domain.rect ~lo:[ 36; 30 ] ~hi:[ 60; 58 ] ()
+
+let union_smooth =
+  Stencil.make ~label:"patch_smooth" ~output:"out" ~expr:(five_point "u")
+    ~domain:Domain.(of_rect patch_a ++ of_rect patch_b)
+    ()
+
+(* the same two patches as separate stencils, to interrogate the analysis *)
+let solo d label =
+  Stencil.make ~label ~output:"out" ~expr:(five_point "u")
+    ~domain:(Domain.of_rect d) ()
+
+let () =
+  (* the analysis facts *)
+  let a = solo patch_a "patch_a" and b = solo patch_b "patch_b" in
+  Printf.printf "patches independent (finite-domain analysis): %b\n"
+    (Dependence.independent ~shape a b);
+  Printf.printf "union is self-disjoint: %b\n"
+    (Footprint.union_self_disjoint ~shape union_smooth);
+  let waves =
+    Schedule.greedy_waves ~shape (Group.make ~label:"patches" [ a; b ])
+  in
+  Printf.printf "both patches share wave 0: %b\n"
+    (List.length waves = 1);
+
+  (* overlapping patches would be caught *)
+  let overlapping =
+    Stencil.make ~label:"overlap" ~output:"out" ~expr:(five_point "u")
+      ~domain:
+        Domain.(
+          of_rect (rect ~lo:[ 4; 4 ] ~hi:[ 20; 28 ] ())
+          ++ of_rect (rect ~lo:[ 10; 10 ] ~hi:[ 24; 24 ] ()))
+      ()
+  in
+  Printf.printf "overlapping union detected as unsafe: %b\n"
+    (not (Footprint.union_self_disjoint ~shape overlapping));
+
+  (* run it: only the patch cells are written *)
+  let u = Mesh.random ~seed:5 shape in
+  let out = Mesh.create shape in
+  Mesh.fill out (-1.);
+  let grids = Grids.of_list [ ("u", u); ("out", out) ] in
+  let kernel =
+    Jit.compile Jit.Openmp
+      ~config:(Config.with_workers 2 Config.default)
+      ~shape
+      (Group.make [ union_smooth ])
+  in
+  kernel.Kernel.run grids;
+  let inside = ref 0 and untouched = ref 0 in
+  Mesh.iteri out (fun _ v ->
+      if v = -1. then incr untouched else incr inside);
+  let expected_inside = (16 * 24) + (24 * 28) in
+  Printf.printf "cells written: %d (expected %d), untouched: %d\n" !inside
+    expected_inside !untouched;
+  assert (!inside = expected_inside);
+  print_endline "AMR-style union-of-patches smoothing OK"

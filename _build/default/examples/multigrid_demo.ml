@@ -1,0 +1,69 @@
+(* Full geometric multigrid from the library, on two problems:
+
+     dune exec examples/multigrid_demo.exe
+
+   1. constant-coefficient Poisson with a manufactured solution —
+      demonstrates per-cycle residual reduction and O(h²) accuracy, and
+   2. a variable-coefficient (heterogeneous medium) problem solved with
+      the same single-source solver on two different backends, with
+      matching answers.
+
+   This is the paper's §V workload end-to-end: GSRB smoothers, residual,
+   restriction, interpolation and boundary stencils on every level, all
+   generated from the same Snowflake descriptions. *)
+
+open Sf_mesh
+open Sf_backends
+open Sf_hpgmg
+
+let () =
+  (* --- Poisson, accuracy study ------------------------------------- *)
+  print_endline "Poisson -Δu = f, u* = sin(πx)sin(πy)sin(πz):";
+  let errs =
+    List.map
+      (fun n ->
+        let solver = Mg.create ~n () in
+        Problem.setup_poisson (Mg.finest solver);
+        let norms = Mg.solve ~cycles:8 solver in
+        let err =
+          Level.error_vs (Mg.finest solver)
+            (Level.u (Mg.finest solver))
+            Problem.exact_sine
+        in
+        Printf.printf
+          "  n=%2d: residual %.2e -> %.2e after 8 V-cycles, error vs exact \
+           %.3e\n"
+          n norms.(0) norms.(8) err;
+        err)
+      [ 8; 16; 32 ]
+  in
+  (match errs with
+  | [ e8; e16; e32 ] ->
+      Printf.printf
+        "  error ratios: %.2f (8->16), %.2f (16->32) — second order is 4.0\n"
+        (e8 /. e16) (e16 /. e32);
+      assert (e8 /. e16 > 2.5 && e16 /. e32 > 2.5)
+  | _ -> assert false);
+
+  (* --- variable coefficients, two backends -------------------------- *)
+  print_endline
+    "\nVariable-coefficient problem, same source on two backends:";
+  let solve backend =
+    let config =
+      { Mg.default_config with backend; jit = Config.with_workers 2 Config.default }
+    in
+    let solver = Mg.create ~config ~n:16 () in
+    Mg.set_beta solver Problem.beta_smooth;
+    Problem.setup_variable ~seed:123 (Mg.finest solver);
+    Mg.set_beta solver Problem.beta_smooth;
+    let norms = Mg.solve ~cycles:6 solver in
+    Printf.printf "  %-8s backend: residual %.3e -> %.3e\n"
+      (Jit.backend_name backend) norms.(0) norms.(6);
+    Level.u (Mg.finest solver)
+  in
+  let u_omp = solve Jit.Openmp in
+  let u_ocl = solve Jit.Opencl in
+  let diff = Mesh.max_abs_diff u_omp u_ocl in
+  Printf.printf "  max |u_openmp - u_opencl| = %.2e\n" diff;
+  assert (diff < 1e-9);
+  print_endline "single source, two backends, one answer."

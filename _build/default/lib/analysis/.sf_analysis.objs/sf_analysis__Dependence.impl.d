@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Affine Domain Footprint Format List Snowflake Stencil String

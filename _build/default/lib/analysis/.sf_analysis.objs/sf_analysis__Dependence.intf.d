@@ -1,0 +1,1 @@
+lib/analysis/dependence.mli: Format Ivec Sf_util Snowflake Stencil

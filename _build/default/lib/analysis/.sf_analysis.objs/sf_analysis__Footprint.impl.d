@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Affine Array Dioph Domain Format Ivec List Map Printf Sf_util Snowflake Stencil String

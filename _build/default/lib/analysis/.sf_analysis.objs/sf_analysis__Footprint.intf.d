@@ -1,0 +1,1 @@
+lib/analysis/footprint.mli: Affine Dioph Domain Ivec Sf_util Snowflake Stencil

@@ -1,0 +1,1 @@
+lib/analysis/schedule.ml: Affine Array Dependence Domain Expr Footprint Format Fun Group List Snowflake Stencil String

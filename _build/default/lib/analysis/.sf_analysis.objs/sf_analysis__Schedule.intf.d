@@ -1,0 +1,1 @@
+lib/analysis/schedule.mli: Dependence Format Group Ivec Sf_util Snowflake Stencil

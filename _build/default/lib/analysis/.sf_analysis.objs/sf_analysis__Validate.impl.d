@@ -1,0 +1,1 @@
+lib/analysis/validate.ml: Dependence Expr Footprint Format Group Ivec List Sf_util Snowflake Stencil String

@@ -1,0 +1,1 @@
+lib/analysis/validate.mli: Format Group Ivec Sf_util Snowflake

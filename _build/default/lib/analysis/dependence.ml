@@ -1,0 +1,53 @@
+open Snowflake
+
+type kind = Raw | War | Waw
+
+let kind_to_string = function Raw -> "RAW" | War -> "WAR" | Waw -> "WAW"
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let self_conflicts ~shape (s : Stencil.t) =
+  let base = Domain.resolve ~shape s.Stencil.domain in
+  let writes = List.map (Footprint.affine_image s.Stencil.out_map) base in
+  (* A read through the very map that produces the write index touches only
+     the cell being written; under gather semantics (all reads happen before
+     the point's write) that is not a loop-carried dependence. *)
+  Stencil.reads s
+  |> List.filter_map (fun (grid, m) ->
+         if
+           String.equal grid s.Stencil.output
+           && (not (Affine.equal m s.Stencil.out_map))
+           && Footprint.lattice_lists_intersect
+                (List.map (Footprint.affine_image m) base)
+                writes
+         then Some m.Affine.offset
+         else None)
+
+let point_parallel ~shape s =
+  self_conflicts ~shape s = [] && Footprint.union_self_disjoint ~shape s
+
+let conflicts ~shape ~before ~after =
+  let w1 = snd (Footprint.write_footprint ~shape before) in
+  let w2 = snd (Footprint.write_footprint ~shape after) in
+  let reads_of footprint grid =
+    match List.assoc_opt grid footprint with Some ls -> ls | None -> []
+  in
+  let r1 = Footprint.read_footprint ~shape before in
+  let r2 = Footprint.read_footprint ~shape after in
+  let out1 = before.Stencil.output and out2 = after.Stencil.output in
+  let raw = Footprint.lattice_lists_intersect w1 (reads_of r2 out1) in
+  let war = Footprint.lattice_lists_intersect (reads_of r1 out2) w2 in
+  let waw =
+    String.equal out1 out2 && Footprint.lattice_lists_intersect w1 w2
+  in
+  List.concat
+    [
+      (if raw then [ Raw ] else []);
+      (if war then [ War ] else []);
+      (if waw then [ Waw ] else []);
+    ]
+
+let depends ~shape ~before ~after = conflicts ~shape ~before ~after <> []
+
+let independent ~shape a b =
+  (not (depends ~shape ~before:a ~after:b))
+  && not (depends ~shape ~before:b ~after:a)

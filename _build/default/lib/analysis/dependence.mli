@@ -1,0 +1,37 @@
+(** Dependence queries between stencils (paper §III).
+
+    All queries are finite-domain and exact for the affine (constant-offset,
+    strided-domain) stencils the DSL can express: a conflict is reported iff
+    two footprint lattices genuinely share a point within the resolved
+    bounds.  This is what lets boundary stencils run concurrently with
+    interior stencils — an infinite-domain analysis would flag them. *)
+
+open Sf_util
+open Snowflake
+
+type kind = Raw | War | Waw
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+val self_conflicts : shape:Ivec.t -> Stencil.t -> Ivec.t list
+(** For an in-place stencil: the nonzero read offsets [o] on the output grid
+    whose translated domain intersects the write domain — the loop-carried
+    dependences that forbid applying the stencil in parallel over its own
+    domain.  Empty for out-of-place stencils. *)
+
+val point_parallel : shape:Ivec.t -> Stencil.t -> bool
+(** The stencil may be applied at all its domain points concurrently:
+    no self-conflicts and the domain-union rects are pairwise disjoint.
+    A GSRB colour sweep is point-parallel; a full-domain in-place
+    Gauss-Seidel is not. *)
+
+val conflicts :
+  shape:Ivec.t -> before:Stencil.t -> after:Stencil.t -> kind list
+(** Dependences that order [after] after [before]: RAW ([before] writes what
+    [after] reads), WAR, WAW.  Sorted, deduplicated. *)
+
+val depends : shape:Ivec.t -> before:Stencil.t -> after:Stencil.t -> bool
+val independent : shape:Ivec.t -> Stencil.t -> Stencil.t -> bool
+(** No dependence in either direction: the two stencils may run
+    concurrently. *)

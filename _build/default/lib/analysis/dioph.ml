@@ -1,0 +1,63 @@
+let rec egcd a b =
+  if b = 0 then ((if a < 0 then -a else a), (if a < 0 then -1 else if a = 0 then 0 else 1), 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+let gcd a b =
+  let g, _, _ = egcd a b in
+  g
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / gcd a b
+
+let solve2 ~a ~b ~c =
+  let g, x, y = egcd a b in
+  if g = 0 then if c = 0 then Some (0, 0) else None
+  else if c mod g <> 0 then None
+  else
+    let k = c / g in
+    Some (x * k, y * k)
+
+type progression = { start : int; step : int; count : int }
+
+let progression ~start ~step ~count =
+  if step <= 0 then invalid_arg "Dioph.progression: step must be positive";
+  if count < 0 then invalid_arg "Dioph.progression: negative count";
+  { start; step; count }
+
+let last p = if p.count = 0 then None else Some (p.start + (p.step * (p.count - 1)))
+
+let mem p x =
+  p.count > 0
+  && x >= p.start
+  && x <= p.start + (p.step * (p.count - 1))
+  && (x - p.start) mod p.step = 0
+
+(* Integer ceiling division, correct for negative numerators. *)
+let ceil_div a b =
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let intersect p1 p2 =
+  match (last p1, last p2) with
+  | None, _ | _, None -> None
+  | Some last1, Some last2 ->
+      let c = p2.start - p1.start in
+      let g, x, _ = egcd p1.step p2.step in
+      if c mod g <> 0 then None
+      else begin
+        let step = lcm p1.step p2.step in
+        (* x_common ≡ p1.start (mod p1.step) and ≡ p2.start (mod p2.step) *)
+        let x_common = p1.start + (p1.step * (x * (c / g))) in
+        let lo = max p1.start p2.start in
+        let hi = min last1 last2 in
+        if hi < lo then None
+        else begin
+          let start = x_common + (step * ceil_div (lo - x_common) step) in
+          if start > hi then None
+          else Some { start; step; count = ((hi - start) / step) + 1 }
+        end
+      end
+
+let disjoint p1 p2 = Option.is_none (intersect p1 p2)
+
+let elements p = List.init p.count (fun k -> p.start + (p.step * k))

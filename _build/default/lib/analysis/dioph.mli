@@ -1,0 +1,43 @@
+(** Linear Diophantine machinery.
+
+    The paper's dependence analysis reduces "do two strided finite domains
+    share a point?" to systems of linear Diophantine equations, solved with
+    the extended Euclidean algorithm and then checked against the finite
+    bounds (paper §III.A).  This module is that solver: exact, integer-only,
+    and total. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, x, y)] with [g = gcd a b >= 0] and [a*x + b*y = g].
+    [egcd 0 0 = (0, 0, 0)]. *)
+
+val gcd : int -> int -> int
+val lcm : int -> int -> int
+(** [lcm 0 x = 0]. *)
+
+val solve2 : a:int -> b:int -> c:int -> (int * int) option
+(** One integer solution of [a*x + b*y = c], or [None] when [c] is not a
+    multiple of [gcd a b] (including the degenerate [a = b = 0, c <> 0]). *)
+
+(** A finite arithmetic progression [{ start + step*k | 0 <= k < count }].
+    [step] must be positive; [count] may be zero (empty). *)
+type progression = { start : int; step : int; count : int }
+
+val progression : start:int -> step:int -> count:int -> progression
+(** Raises [Invalid_argument] if [step <= 0] or [count < 0]. *)
+
+val last : progression -> int option
+(** Largest element, [None] when empty. *)
+
+val mem : progression -> int -> bool
+
+val intersect : progression -> progression -> progression option
+(** Exact intersection of two finite progressions — itself a progression
+    with [step = lcm] (via CRT on the starts), or [None] when empty.  This
+    is the 1-D core of the finite-domain analysis: unlike an infinite-domain
+    analysis, two progressions with compatible residues but disjoint ranges
+    correctly report no conflict. *)
+
+val disjoint : progression -> progression -> bool
+
+val elements : progression -> int list
+(** All members; intended for tests on small progressions. *)

@@ -1,0 +1,128 @@
+open Sf_util
+open Snowflake
+
+let affine_image (m : Affine.t) (r : Domain.resolved) =
+  let n = Ivec.dims r.Domain.rlo in
+  if Affine.dims m <> n then
+    invalid_arg "Footprint.affine_image: rank mismatch";
+  let cnt = Domain.counts r in
+  let rlo = Array.make n 0 and rhi = Array.make n 0 and rstride = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let s = m.Affine.scale.(i) and o = m.Affine.offset.(i) in
+    if s = 0 then begin
+      rlo.(i) <- o;
+      rstride.(i) <- 1;
+      rhi.(i) <- (if cnt.(i) > 0 then o + 1 else o)
+    end
+    else begin
+      rlo.(i) <- (s * r.Domain.rlo.(i)) + o;
+      rstride.(i) <- s * r.Domain.rstride.(i);
+      rhi.(i) <-
+        (if cnt.(i) > 0 then rlo.(i) + ((cnt.(i) - 1) * rstride.(i)) + 1
+         else rlo.(i))
+    end
+  done;
+  Domain.{ rlo; rhi; rstride }
+
+let axis_progression (r : Domain.resolved) i =
+  let extent = r.Domain.rhi.(i) - r.Domain.rlo.(i) in
+  let count =
+    if extent <= 0 then 0
+    else (extent + r.Domain.rstride.(i) - 1) / r.Domain.rstride.(i)
+  in
+  Dioph.progression ~start:r.Domain.rlo.(i) ~step:r.Domain.rstride.(i) ~count
+
+let rects_intersect a b =
+  let n = Ivec.dims a.Domain.rlo in
+  if Ivec.dims b.Domain.rlo <> n then
+    invalid_arg "Footprint.rects_intersect: rank mismatch";
+  let rec go i =
+    i >= n
+    || (not (Dioph.disjoint (axis_progression a i) (axis_progression b i)))
+       && go (i + 1)
+  in
+  go 0
+
+let rects_intersection_count a b =
+  let n = Ivec.dims a.Domain.rlo in
+  if Ivec.dims b.Domain.rlo <> n then
+    invalid_arg "Footprint.rects_intersection_count: rank mismatch";
+  let rec go i acc =
+    if i >= n then acc
+    else
+      match Dioph.intersect (axis_progression a i) (axis_progression b i) with
+      | None -> 0
+      | Some p -> go (i + 1) (acc * p.Dioph.count)
+  in
+  go 0 1
+
+let lattice_lists_intersect xs ys =
+  List.exists (fun x -> List.exists (fun y -> rects_intersect x y) ys) xs
+
+let write_footprint ~shape (s : Stencil.t) =
+  let base = Domain.resolve ~shape s.Stencil.domain in
+  (s.Stencil.output, List.map (affine_image s.Stencil.out_map) base)
+
+module StringMap = Map.Make (String)
+
+let read_footprint ~shape (s : Stencil.t) =
+  let base = Domain.resolve ~shape s.Stencil.domain in
+  let add acc (grid, m) =
+    let imaged = List.map (affine_image m) base in
+    StringMap.update grid
+      (function None -> Some imaged | Some ls -> Some (imaged @ ls))
+      acc
+  in
+  List.fold_left add StringMap.empty (Stencil.reads s) |> StringMap.bindings
+
+(* The lattice fits in the box [0, extent) on every axis. *)
+let lattice_in_box extent (r : Domain.resolved) =
+  let ok = ref true in
+  let cnt = Domain.counts r in
+  Array.iteri
+    (fun i lo ->
+      if cnt.(i) > 0 then begin
+        let hi_incl = lo + ((cnt.(i) - 1) * r.Domain.rstride.(i)) in
+        if lo < 0 || hi_incl >= extent.(i) then ok := false
+      end)
+    r.Domain.rlo;
+  !ok
+
+let check_in_bounds ~shape ~grid_shape (s : Stencil.t) =
+  let base = Domain.resolve ~shape s.Stencil.domain in
+  let check_access what grid m =
+    let extent = grid_shape grid in
+    List.find_map
+      (fun r ->
+        let img = affine_image m r in
+        if Domain.is_empty img || lattice_in_box extent img then None
+        else
+          Some
+            (Printf.sprintf
+               "stencil %s: %s of %s via map %s escapes shape %s"
+               s.Stencil.label what grid
+               (Format.asprintf "%a" Affine.pp m)
+               (Ivec.to_string extent)))
+      base
+  in
+  let read_err =
+    List.find_map
+      (fun (grid, m) -> check_access "read" grid m)
+      (Stencil.reads s)
+  in
+  match read_err with
+  | Some msg -> Error msg
+  | None -> (
+      match check_access "write" s.Stencil.output s.Stencil.out_map with
+      | Some msg -> Error msg
+      | None -> Ok ())
+
+let union_self_disjoint ~shape (s : Stencil.t) =
+  let _, rects = write_footprint ~shape s in
+  let rec pairwise = function
+    | [] -> true
+    | r :: rest ->
+        List.for_all (fun r' -> not (rects_intersect r r')) rest
+        && pairwise rest
+  in
+  pairwise rects

@@ -1,0 +1,53 @@
+(** Read/write footprints of stencils as finite strided lattices.
+
+    A footprint is a set of concrete-bound lattices per grid: the write
+    footprint of a stencil is the image of its iteration domain under its
+    output map; each read contributes the image of the domain under the
+    read's affine map.  Affine images of strided rectangles are again
+    strided rectangles, so intersection queries are decided exactly, axis by
+    axis, with {!Dioph.intersect} — the paper's reduction of dependence
+    testing to linear Diophantine systems over finite domains. *)
+
+open Sf_util
+open Snowflake
+
+val affine_image : Affine.t -> Domain.resolved -> Domain.resolved
+(** Map a lattice through an affine map.  The result may have bounds outside
+    any grid (fine for intersection queries; {!check_in_bounds} diagnoses
+    escaping accesses).  A zero scale entry collapses that axis to the
+    single coordinate [offset]. *)
+
+val axis_progression : Domain.resolved -> int -> Dioph.progression
+(** The arithmetic progression of coordinates along one axis. *)
+
+val rects_intersect : Domain.resolved -> Domain.resolved -> bool
+(** Exact: the lattices share at least one point.  Raises
+    [Invalid_argument] on rank mismatch. *)
+
+val rects_intersection_count : Domain.resolved -> Domain.resolved -> int
+(** Number of shared points (product of per-axis intersection counts). *)
+
+val lattice_lists_intersect :
+  Domain.resolved list -> Domain.resolved list -> bool
+
+val write_footprint :
+  shape:Ivec.t -> Stencil.t -> string * Domain.resolved list
+(** [(output_grid, lattices)] — the domain union resolved against the
+    iteration shape and mapped through the stencil's output map. *)
+
+val read_footprint :
+  shape:Ivec.t -> Stencil.t -> (string * Domain.resolved list) list
+(** Per read grid, the union over reads of affine-imaged domains.  Grids
+    sorted; one entry per grid. *)
+
+val check_in_bounds :
+  shape:Ivec.t -> grid_shape:(string -> Ivec.t) -> Stencil.t ->
+  (unit, string) result
+(** Every read and write the stencil performs stays inside
+    [[0, grid_shape g)) for the grid it touches; the error string names the
+    offending access. *)
+
+val union_self_disjoint : shape:Ivec.t -> Stencil.t -> bool
+(** The write lattices arising from the stencil's domain union are pairwise
+    disjoint — required for its points to be writable in parallel and for
+    point counts to be exact. *)

@@ -1,0 +1,139 @@
+open Snowflake
+
+type edge = { src : int; dst : int; kinds : Dependence.kind list }
+type dag = { group : Group.t; edges : edge list }
+
+let build_dag ~shape group =
+  let stencils = Array.of_list (Group.stencils group) in
+  let n = Array.length stencils in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match
+        Dependence.conflicts ~shape ~before:stencils.(i) ~after:stencils.(j)
+      with
+      | [] -> ()
+      | kinds -> edges := { src = i; dst = j; kinds } :: !edges
+    done
+  done;
+  { group; edges = List.rev !edges }
+
+let predecessors dag i =
+  List.filter_map (fun e -> if e.dst = i then Some e.src else None) dag.edges
+
+let successors dag i =
+  List.filter_map (fun e -> if e.src = i then Some e.dst else None) dag.edges
+
+let greedy_waves ~shape group =
+  let stencils = Array.of_list (Group.stencils group) in
+  let n = Array.length stencils in
+  let waves = ref [] in
+  let current = ref [] in
+  for j = 0 to n - 1 do
+    let blocked =
+      List.exists
+        (fun i ->
+          Dependence.depends ~shape ~before:stencils.(i) ~after:stencils.(j))
+        !current
+    in
+    if blocked then begin
+      waves := List.rev !current :: !waves;
+      current := [ j ]
+    end
+    else current := j :: !current
+  done;
+  if !current <> [] then waves := List.rev !current :: !waves;
+  List.rev !waves
+
+let dag_waves dag =
+  let n = Group.length dag.group in
+  let level = Array.make n 0 in
+  (* edges go from lower to higher index, so one forward pass suffices *)
+  List.iter
+    (fun e -> level.(e.dst) <- max level.(e.dst) (level.(e.src) + 1))
+    (List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst)) dag.edges);
+  let max_level = Array.fold_left max 0 level in
+  List.init (max_level + 1) (fun l ->
+      List.filter (fun i -> level.(i) = l) (List.init n Fun.id))
+
+let dead_indices_once ~shape group ~live =
+  let stencils = Array.of_list (Group.stencils group) in
+  let n = Array.length stencils in
+  let dead = ref [] in
+  for i = 0 to n - 1 do
+    let s = stencils.(i) in
+    let out = s.Stencil.output in
+    if not (List.mem out live) then begin
+      let writes = snd (Footprint.write_footprint ~shape s) in
+      let read_later =
+        let rec check j =
+          j < n
+          &&
+          let reads = Footprint.read_footprint ~shape stencils.(j) in
+          (match List.assoc_opt out reads with
+          | Some ls -> Footprint.lattice_lists_intersect writes ls
+          | None -> false)
+          || check (j + 1)
+        in
+        check (i + 1)
+      in
+      if not read_later then dead := i :: !dead
+    end
+  done;
+  List.rev !dead
+
+let dead_stencils ~shape ~live group = dead_indices_once ~shape group ~live
+
+let eliminate_dead ~shape ~live group =
+  let rec fixpoint g =
+    match dead_indices_once ~shape g ~live with
+    | [] -> g
+    | dead ->
+        let kept =
+          List.filteri (fun i _ -> not (List.mem i dead)) (Group.stencils g)
+        in
+        if kept = [] then
+          invalid_arg "Schedule.eliminate_dead: every stencil is dead"
+        else fixpoint (Group.make ~label:(g.Group.label ^ "_dce") kept)
+  in
+  fixpoint group
+
+let can_fuse ~shape (s1 : Stencil.t) (s2 : Stencil.t) =
+  Domain.equal s1.Stencil.domain s2.Stencil.domain
+  && Affine.is_identity s1.Stencil.out_map
+  && Footprint.union_self_disjoint ~shape s1
+  && List.for_all
+       (fun (g, m) ->
+         (not (String.equal g s1.Stencil.output)) || Affine.is_identity m)
+       (Stencil.reads s2)
+  && not (List.mem s2.Stencil.output (Stencil.grids_read s1))
+
+let fuse (s1 : Stencil.t) (s2 : Stencil.t) =
+  let rec subst = function
+    | Expr.Read (g, m)
+      when String.equal g s1.Stencil.output && Affine.is_identity m ->
+        s1.Stencil.expr
+    | (Expr.Const _ | Expr.Param _ | Expr.Read _) as e -> e
+    | Expr.Neg a -> Expr.Neg (subst a)
+    | Expr.Add (a, b) -> Expr.Add (subst a, subst b)
+    | Expr.Sub (a, b) -> Expr.Sub (subst a, subst b)
+    | Expr.Mul (a, b) -> Expr.Mul (subst a, subst b)
+    | Expr.Div (a, b) -> Expr.Div (subst a, subst b)
+  in
+  Stencil.make
+    ~label:(s1.Stencil.label ^ "*" ^ s2.Stencil.label)
+    ~output:s2.Stencil.output
+    ~expr:(subst s2.Stencil.expr)
+    ~domain:s2.Stencil.domain ()
+
+let pp_waves ppf waves =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun w indices ->
+      Format.fprintf ppf "wave %d: %a@," w
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        indices)
+    waves;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Dependence DAGs and barrier placement over stencil groups (paper §IV.A).
+
+    The OpenMP micro-compiler consumes the output of this module: a list of
+    waves (maximal barrier-free batches, formed greedily exactly as the
+    paper describes) and, for task farming, the full dependence DAG. *)
+
+open Sf_util
+open Snowflake
+
+type edge = { src : int; dst : int; kinds : Dependence.kind list }
+(** Indices into the group's stencil list; [src] must complete before
+    [dst]. *)
+
+type dag = { group : Group.t; edges : edge list }
+
+val build_dag : shape:Ivec.t -> Group.t -> dag
+(** All pairwise dependences [i < j] with a conflict. *)
+
+val predecessors : dag -> int -> int list
+val successors : dag -> int -> int list
+
+val greedy_waves : shape:Ivec.t -> Group.t -> int list list
+(** The paper's greedy grouping: sweep the stencils in program order,
+    accumulating a wave; emit a barrier (start a new wave) only when the
+    next stencil depends on a stencil already in the current wave.  Each
+    wave lists stencil indices in program order; concatenating the waves
+    yields [0 .. n-1]. *)
+
+val dag_waves : dag -> int list list
+(** Topological levels of the DAG (longest-path layering) — at least as
+    parallel as {!greedy_waves}; used by the task-farming executor. *)
+
+val dead_stencils : shape:Ivec.t -> live:string list -> Group.t -> int list
+(** Conservative dead-stencil detection (paper §VII future work, implemented
+    here): stencil [i] is dead when its output grid is not in [live] and no
+    later stencil reads a lattice intersecting [i]'s writes.  Returned in
+    increasing order. *)
+
+val eliminate_dead : shape:Ivec.t -> live:string list -> Group.t -> Group.t
+(** Drops dead stencils, iterating to a fixed point (removing one stencil
+    can kill another).  Raises [Invalid_argument] if everything is dead. *)
+
+val can_fuse : shape:Ivec.t -> Stencil.t -> Stencil.t -> bool
+(** Legality of point-wise fusion of two consecutive stencils: identical
+    domains, the second reads the first's output only at offset zero, the
+    first does not read the second's output, and both domains' unions are
+    self-disjoint.  Sound but not complete. *)
+
+val fuse : Stencil.t -> Stencil.t -> Stencil.t
+(** Point-wise fusion: substitute the first stencil's expression for
+    offset-zero reads of its output inside the second.  Only meaningful when
+    {!can_fuse} holds and both write the same grid; the fused stencil writes
+    the second's output. *)
+
+val pp_waves : Format.formatter -> int list list -> unit

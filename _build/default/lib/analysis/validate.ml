@@ -1,0 +1,57 @@
+open Sf_util
+open Snowflake
+
+type issue =
+  | Out_of_bounds of { stencil : string; detail : string }
+  | Overlapping_union of { stencil : string }
+  | Sequential_in_place of { stencil : string; offsets : Ivec.t list }
+  | Unbound_param of { stencil : string; param : string }
+
+let pp_issue ppf = function
+  | Out_of_bounds { stencil; detail } ->
+      Format.fprintf ppf "error: %s: %s" stencil detail
+  | Overlapping_union { stencil } ->
+      Format.fprintf ppf
+        "error: %s: domain union writes overlapping cells" stencil
+  | Sequential_in_place { stencil; offsets } ->
+      Format.fprintf ppf
+        "note: %s: loop-carried dependence at offsets %s (will run \
+         sequentially)"
+        stencil
+        (String.concat ", " (List.map Ivec.to_string offsets))
+  | Unbound_param { stencil; param } ->
+      Format.fprintf ppf "error: %s: parameter %S is not bound" stencil param
+
+let issue_to_string i = Format.asprintf "%a" pp_issue i
+
+let is_error = function
+  | Out_of_bounds _ | Unbound_param _ -> true
+  | Overlapping_union _ | Sequential_in_place _ -> false
+
+let stencil_issues ~shape ~grid_shape ~params (s : Stencil.t) =
+  let acc = ref [] in
+  (match Footprint.check_in_bounds ~shape ~grid_shape s with
+  | Ok () -> ()
+  | Error detail ->
+      acc := Out_of_bounds { stencil = s.Stencil.label; detail } :: !acc);
+  if not (Footprint.union_self_disjoint ~shape s) then
+    acc := Overlapping_union { stencil = s.Stencil.label } :: !acc;
+  (match Dependence.self_conflicts ~shape s with
+  | [] -> ()
+  | offsets ->
+      acc :=
+        Sequential_in_place { stencil = s.Stencil.label; offsets } :: !acc);
+  (match params with
+  | None -> ()
+  | Some bound ->
+      List.iter
+        (fun p ->
+          if not (List.mem p bound) then
+            acc := Unbound_param { stencil = s.Stencil.label; param = p } :: !acc)
+        (Expr.params s.Stencil.expr));
+  List.rev !acc
+
+let group ~shape ~grid_shape ?params g =
+  List.concat_map
+    (stencil_issues ~shape ~grid_shape ~params)
+    (Group.stencils g)

@@ -1,0 +1,39 @@
+(** Whole-group static diagnostics — the "verification" use of the
+    analysis the paper calls out in §III ("used for both verification and
+    auto-parallelizing").
+
+    [group] runs every check the micro-compilers rely on and returns the
+    complete list of findings, so a stencil program can be linted before
+    any kernel is built (see also [bin/codegen_dump.exe] which prints
+    them). *)
+
+open Sf_util
+open Snowflake
+
+type issue =
+  | Out_of_bounds of { stencil : string; detail : string }
+      (** a read or write escapes its grid *)
+  | Overlapping_union of { stencil : string }
+      (** the stencil's own domain union writes some cell twice *)
+  | Sequential_in_place of { stencil : string; offsets : Ivec.t list }
+      (** loop-carried dependence: backends will not parallelise it *)
+  | Unbound_param of { stencil : string; param : string }
+      (** parameter not in the supplied binding list *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val issue_to_string : issue -> string
+
+val group :
+  shape:Ivec.t ->
+  grid_shape:(string -> Ivec.t) ->
+  ?params:string list ->
+  Group.t ->
+  issue list
+(** All issues, in stencil order.  [params] (when given) is the list of
+    scalar names the caller intends to bind; omitted means "don't check
+    parameters".  [Sequential_in_place] is informational — the program is
+    still correct, just serial at that stencil. *)
+
+val is_error : issue -> bool
+(** [Out_of_bounds] and [Unbound_param] make a program unrunnable;
+    the others are performance/structure warnings. *)

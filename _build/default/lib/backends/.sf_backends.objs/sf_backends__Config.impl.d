@@ -1,0 +1,1 @@
+lib/backends/config.ml:

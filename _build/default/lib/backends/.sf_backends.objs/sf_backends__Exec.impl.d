@@ -1,0 +1,1 @@
+lib/backends/exec.ml: Affine Array Domain Expr Float Grids Ivec List Mesh Polyform Printf Sf_analysis Sf_mesh Sf_util Snowflake Stencil String

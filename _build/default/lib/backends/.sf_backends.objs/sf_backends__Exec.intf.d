@@ -1,0 +1,1 @@
+lib/backends/exec.mli: Domain Grids Sf_mesh Sf_util Snowflake Stencil

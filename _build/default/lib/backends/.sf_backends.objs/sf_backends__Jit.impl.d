@@ -1,0 +1,1 @@
+lib/backends/jit.ml: Config Group Hashtbl Ivec Kernel List Opencl_backend Openmp_backend Passes Printf Serial_backend Sf_util Snowflake Stencil String

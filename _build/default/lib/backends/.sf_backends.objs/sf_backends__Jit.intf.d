@@ -1,0 +1,1 @@
+lib/backends/jit.mli: Config Group Ivec Kernel Sf_util Snowflake Stencil

@@ -1,0 +1,1 @@
+lib/backends/kernel.ml: Grids List Printf Sf_mesh

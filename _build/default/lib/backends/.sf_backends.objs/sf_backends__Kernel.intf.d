@@ -1,0 +1,1 @@
+lib/backends/kernel.mli: Grids Sf_mesh

@@ -1,0 +1,1 @@
+lib/backends/multicolor.ml: Domain Ivec List Sf_util Snowflake

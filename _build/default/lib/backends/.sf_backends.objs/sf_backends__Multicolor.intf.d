@@ -1,0 +1,1 @@
+lib/backends/multicolor.mli: Domain Snowflake

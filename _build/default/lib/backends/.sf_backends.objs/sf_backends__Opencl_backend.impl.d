@@ -1,0 +1,1 @@
+lib/backends/opencl_backend.ml: Array Config Dependence Domain Exec Group Kernel List Multicolor Pool Printf Run_cache Sf_analysis Snowflake Stencil Tiling

@@ -1,0 +1,1 @@
+lib/backends/openmp_backend.ml: Array Config Dependence Domain Exec Format Group Kernel List Multicolor Pool Run_cache Schedule Sf_analysis Snowflake Stencil Tiling

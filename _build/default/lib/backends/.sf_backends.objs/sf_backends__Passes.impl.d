@@ -1,0 +1,1 @@
+lib/backends/passes.ml: Config Group List Schedule Sf_analysis Snowflake Stencil String

@@ -1,0 +1,1 @@
+lib/backends/passes.mli: Config Group Ivec Sf_util Snowflake

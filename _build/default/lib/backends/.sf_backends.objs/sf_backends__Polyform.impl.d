@@ -1,0 +1,1 @@
+lib/backends/polyform.ml: Affine Expr List Map Option Sf_util Snowflake String

@@ -1,0 +1,1 @@
+lib/backends/polyform.mli: Affine Expr Snowflake

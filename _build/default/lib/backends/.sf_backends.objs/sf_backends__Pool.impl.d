@@ -1,0 +1,1 @@
+lib/backends/pool.ml: Array Atomic Domain

@@ -1,0 +1,1 @@
+lib/backends/run_cache.ml: Grids List Mesh Sf_mesh

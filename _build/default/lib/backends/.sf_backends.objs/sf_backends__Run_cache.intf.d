@@ -1,0 +1,1 @@
+lib/backends/run_cache.mli: Grids Sf_mesh

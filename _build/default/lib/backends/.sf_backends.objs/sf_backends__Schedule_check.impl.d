@@ -1,0 +1,1 @@
+lib/backends/schedule_check.ml: Array Domain Footprint Group List Opencl_backend Openmp_backend Printf Sf_analysis Snowflake Stencil String

@@ -1,0 +1,1 @@
+lib/backends/schedule_check.mli: Config Domain Group Sf_util Snowflake Stencil

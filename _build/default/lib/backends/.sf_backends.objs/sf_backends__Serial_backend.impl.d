@@ -1,0 +1,1 @@
+lib/backends/serial_backend.ml: Array Config Domain Exec Group Kernel List Printf Run_cache Snowflake Stencil

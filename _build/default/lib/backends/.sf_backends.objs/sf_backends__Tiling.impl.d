@@ -1,0 +1,1 @@
+lib/backends/tiling.ml: Array Domain Ivec List Sf_util Snowflake

@@ -1,0 +1,1 @@
+lib/backends/tiling.mli: Domain Snowflake

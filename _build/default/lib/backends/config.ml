@@ -1,0 +1,30 @@
+type schedule = Greedy_waves | Dag_levels
+
+type t = {
+  workers : int;
+  tile : int list option;
+  chunks : int;
+  tall_skinny : int * int;
+  multicolor : bool;
+  schedule : schedule;
+  validate : bool;
+  fuse : bool;
+  dce : dce;
+}
+
+and dce = No_dce | Dce of string list
+
+let default =
+  {
+    workers = 1;
+    tile = None;
+    chunks = 8;
+    tall_skinny = (8, 64);
+    multicolor = false;
+    schedule = Greedy_waves;
+    validate = true;
+    fuse = false;
+    dce = No_dce;
+  }
+
+let with_workers workers t = { t with workers }

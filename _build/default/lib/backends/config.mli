@@ -1,0 +1,36 @@
+(** Compilation options shared by the micro-compilers.
+
+    These correspond to the tuning knobs the paper exposes when [compile] is
+    called: thread count, tile sizes, multicolor reordering, and the
+    barrier-placement strategy. *)
+
+type schedule = Greedy_waves | Dag_levels
+
+type t = {
+  workers : int;  (** parallel degree (like OMP_NUM_THREADS / CUs) *)
+  tile : int list option;
+      (** explicit OpenMP tile sizes (lattice points per axis); [None]
+          falls back to outer-axis chunking into [chunks] subtasks *)
+  chunks : int;  (** subtasks per stencil when [tile = None] *)
+  tall_skinny : int * int;  (** OpenCL 2-D tile (rows, cols) *)
+  multicolor : bool;
+      (** interleave the tiles of a domain-union (colored) stencil
+          spatially instead of color-by-color *)
+  schedule : schedule;
+  validate : bool;  (** bounds/shape checks at kernel invocation *)
+  fuse : bool;
+      (** greedily fuse consecutive stencils when the analysis proves it
+          legal (producer consumed at offset zero over an identical
+          domain) *)
+  dce : dce;
+      (** dead-stencil elimination before scheduling *)
+}
+
+and dce = No_dce | Dce of string list  (** live output grids *)
+
+val default : t
+(** Sequential-friendly defaults: [workers = 1], no explicit tile,
+    [chunks = 8], tall-skinny [8 x 64], multicolor off, greedy waves,
+    validation on, no fusion, no DCE. *)
+
+val with_workers : int -> t -> t

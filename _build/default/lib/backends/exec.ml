@@ -1,0 +1,656 @@
+open Sf_util
+open Sf_mesh
+open Snowflake
+
+let run_rect_interp grids ~params (s : Stencil.t) rect =
+  let out = Grids.find grids s.Stencil.output in
+  let read g m p = Mesh.get (Grids.find grids g) (Affine.apply m p) in
+  Domain.iter rect (fun p ->
+      let v = Expr.eval s.Stencil.expr ~read:(fun g m -> read g m p) ~params in
+      Mesh.set out (Affine.apply s.Stencil.out_map p) v)
+
+(* ------------------------------------------------------------------- *)
+(* Closure-compiled fallback: one slot per distinct (grid, map) pair    *)
+(* with incrementally maintained flat indices.  Used for the rare       *)
+(* non-polynomial expressions (e.g. a grid read in a denominator).      *)
+(* ------------------------------------------------------------------- *)
+
+type slot = { data : floatarray; base : int; inc : int array }
+
+let make_slot (mesh : Mesh.t) (m : Affine.t) (rect : Domain.resolved) =
+  let strides = Mesh.strides mesh in
+  let n = Array.length strides in
+  let origin = Affine.apply m rect.Domain.rlo in
+  let base = Ivec.dot strides origin in
+  let inc =
+    Array.init n (fun i ->
+        strides.(i) * m.Affine.scale.(i) * rect.Domain.rstride.(i))
+  in
+  { data = Mesh.data mesh; base; inc }
+
+let compile_expr expr ~params ~slot_index ~cur =
+  let rec go = function
+    | Expr.Const c -> fun () -> c
+    | Expr.Param p ->
+        let v = params p in
+        fun () -> v
+    | Expr.Read (g, m) ->
+        let j, data = slot_index (g, m) in
+        fun () -> Float.Array.unsafe_get data (Array.unsafe_get cur j)
+    | Expr.Neg a ->
+        let fa = go a in
+        fun () -> -.fa ()
+    | Expr.Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun () -> fa () +. fb ()
+    | Expr.Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun () -> fa () -. fb ()
+    | Expr.Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun () -> fa () *. fb ()
+    | Expr.Div (a, b) ->
+        let fa = go a and fb = go b in
+        fun () -> fa () /. fb ()
+  in
+  go expr
+
+let run_rect_closure grids ~params (s : Stencil.t) rect =
+  let cnt = Domain.counts rect in
+  let n = Ivec.dims cnt in
+  let reads = Stencil.reads s in
+  let k = List.length reads in
+  let slots =
+    Array.of_list
+      (List.map (fun (g, m) -> make_slot (Grids.find grids g) m rect) reads)
+  in
+  let out_slot =
+    make_slot (Grids.find grids s.Stencil.output) s.Stencil.out_map rect
+  in
+  let cur = Array.make (max k 1) 0 in
+  let slot_index (g, m) =
+    let rec find j = function
+      | [] -> assert false (* reads is exactly the list we indexed *)
+      | (g', m') :: rest ->
+          if String.equal g g' && Affine.equal m m' then (j, slots.(j).data)
+          else find (j + 1) rest
+    in
+    find 0 reads
+  in
+  let eval = compile_expr s.Stencil.expr ~params ~slot_index ~cur in
+  let out_data = out_slot.data in
+  let inner = n - 1 in
+  let inner_cnt = cnt.(inner) in
+  let inner_incs = Array.map (fun sl -> sl.inc.(inner)) slots in
+  let out_inner_inc = out_slot.inc.(inner) in
+  let outer_total = ref 1 in
+  for i = 0 to inner - 1 do
+    outer_total := !outer_total * cnt.(i)
+  done;
+  let oidx = Array.make (max inner 1) 0 in
+  for _row = 0 to !outer_total - 1 do
+    for j = 0 to k - 1 do
+      let sl = slots.(j) in
+      let flat = ref sl.base in
+      for i = 0 to inner - 1 do
+        flat := !flat + (oidx.(i) * sl.inc.(i))
+      done;
+      cur.(j) <- !flat
+    done;
+    let out_flat = ref out_slot.base in
+    for i = 0 to inner - 1 do
+      out_flat := !out_flat + (oidx.(i) * out_slot.inc.(i))
+    done;
+    for _c = 0 to inner_cnt - 1 do
+      Float.Array.unsafe_set out_data !out_flat (eval ());
+      out_flat := !out_flat + out_inner_inc;
+      for j = 0 to k - 1 do
+        cur.(j) <- cur.(j) + inner_incs.(j)
+      done
+    done;
+    let rec bump i =
+      if i >= 0 then begin
+        oidx.(i) <- oidx.(i) + 1;
+        if oidx.(i) >= cnt.(i) then begin
+          oidx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (inner - 1)
+  done
+
+(* ------------------------------------------------------------------- *)
+(* Polynomial fast path: the expression is a table of constant-coeff   *)
+(* monomials over grid reads.  Reads are grouped by (grid, scale); one  *)
+(* flat counter per group tracks Σ strideᵢ·scaleᵢ·xᵢ, and each read is  *)
+(* a constant delta off its group's counter.  All of this is computed   *)
+(* once per kernel invocation; running a tile costs index arithmetic    *)
+(* only — the strength-reduced inner loop the emitted C would have.     *)
+(* ------------------------------------------------------------------- *)
+
+(* Arity-specialised inner evaluators for purely linear (degree-1)
+   stencils over grids that advance in lockstep: the common case (CC
+   Laplacian, Jacobi, boundaries, restriction) becomes an unrolled
+   multiply-add chain with the tap deltas resident in the closure —
+   the code shape the emitted C would compile to. *)
+let deg1_inner ~kconst ~(taps : (floatarray * int * float) array) =
+  let g = Float.Array.unsafe_get in
+  match taps with
+  | [| (a0, d0, w0) |] -> fun pos -> kconst +. (w0 *. g a0 (pos + d0))
+  | [| (a0, d0, w0); (a1, d1, w1) |] ->
+      fun pos -> kconst +. (w0 *. g a0 (pos + d0)) +. (w1 *. g a1 (pos + d1))
+  | [| (a0, d0, w0); (a1, d1, w1); (a2, d2, w2) |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+  | [| (a0, d0, w0); (a1, d1, w1); (a2, d2, w2); (a3, d3, w3) |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+        +. (w3 *. g a3 (pos + d3))
+  | [|
+   (a0, d0, w0); (a1, d1, w1); (a2, d2, w2); (a3, d3, w3); (a4, d4, w4);
+  |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+        +. (w3 *. g a3 (pos + d3))
+        +. (w4 *. g a4 (pos + d4))
+  | [|
+   (a0, d0, w0);
+   (a1, d1, w1);
+   (a2, d2, w2);
+   (a3, d3, w3);
+   (a4, d4, w4);
+   (a5, d5, w5);
+  |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+        +. (w3 *. g a3 (pos + d3))
+        +. (w4 *. g a4 (pos + d4))
+        +. (w5 *. g a5 (pos + d5))
+  | [|
+   (a0, d0, w0);
+   (a1, d1, w1);
+   (a2, d2, w2);
+   (a3, d3, w3);
+   (a4, d4, w4);
+   (a5, d5, w5);
+   (a6, d6, w6);
+  |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+        +. (w3 *. g a3 (pos + d3))
+        +. (w4 *. g a4 (pos + d4))
+        +. (w5 *. g a5 (pos + d5))
+        +. (w6 *. g a6 (pos + d6))
+  | [|
+   (a0, d0, w0);
+   (a1, d1, w1);
+   (a2, d2, w2);
+   (a3, d3, w3);
+   (a4, d4, w4);
+   (a5, d5, w5);
+   (a6, d6, w6);
+   (a7, d7, w7);
+  |] ->
+      fun pos ->
+        kconst
+        +. (w0 *. g a0 (pos + d0))
+        +. (w1 *. g a1 (pos + d1))
+        +. (w2 *. g a2 (pos + d2))
+        +. (w3 *. g a3 (pos + d3))
+        +. (w4 *. g a4 (pos + d4))
+        +. (w5 *. g a5 (pos + d5))
+        +. (w6 *. g a6 (pos + d6))
+        +. (w7 *. g a7 (pos + d7))
+  | taps ->
+      fun pos ->
+        let acc = ref kconst in
+        for m = 0 to Array.length taps - 1 do
+          let a, d, w = Array.unsafe_get taps m in
+          acc := !acc +. (w *. g a (pos + d))
+        done;
+        !acc
+
+type prep = {
+  gmeta : (floatarray * int array (* mesh strides *) * int array (* scale *)) array;
+  gdata : floatarray array;
+  n1 : int;
+  c1 : float array;
+  i1 : int array;
+  n2 : int;
+  c2 : float array;
+  i2 : int array;
+  n3 : int;
+  c3 : float array;
+  i3 : int array;
+  n4 : int;
+  c4 : float array;
+  i4 : int array;
+  kconst : float;
+  out_data : floatarray;
+  out_strides : int array;
+  out_map : Affine.t;
+  uniform : bool;
+      (* every group advances in lockstep (equal stride·scale), so a single
+         position counter serves all reads and [eval_uniform] applies *)
+  eval_uniform : int -> float;
+}
+
+(* Unshared higher-degree monomials, evaluated directly from parallel
+   (unboxed) tables: one loop per monomial degree. *)
+let residual_inner ~tap_of (monos : Polyform.mono list) =
+  let by_degree d =
+    List.filter
+      (fun (m : Polyform.mono) -> List.length m.Polyform.reads = d)
+      monos
+  in
+  let table d =
+    let ms = by_degree d in
+    let count = List.length ms in
+    let w = Array.make (max count 1) 0. in
+    let arrs = Array.make (max (count * d) 1) (Float.Array.create 0) in
+    let deltas = Array.make (max (count * d) 1) 0 in
+    List.iteri
+      (fun i (m : Polyform.mono) ->
+        w.(i) <- m.Polyform.coeff;
+        List.iteri
+          (fun t r ->
+            let a, delta = tap_of r in
+            arrs.((i * d) + t) <- a;
+            deltas.((i * d) + t) <- delta)
+          m.Polyform.reads)
+      ms;
+    (count, w, arrs, deltas)
+  in
+  let n2, w2, a2, d2 = table 2 in
+  let n3, w3, a3, d3 = table 3 in
+  let n4, w4, a4, d4 = table 4 in
+  let g = Float.Array.unsafe_get in
+  fun pos ->
+    let acc = ref 0. in
+    for m = 0 to n2 - 1 do
+      let b = m * 2 in
+      acc :=
+        !acc
+        +. Array.unsafe_get w2 m
+           *. g (Array.unsafe_get a2 b) (pos + Array.unsafe_get d2 b)
+           *. g
+                (Array.unsafe_get a2 (b + 1))
+                (pos + Array.unsafe_get d2 (b + 1))
+    done;
+    for m = 0 to n3 - 1 do
+      let b = m * 3 in
+      acc :=
+        !acc
+        +. Array.unsafe_get w3 m
+           *. g (Array.unsafe_get a3 b) (pos + Array.unsafe_get d3 b)
+           *. g
+                (Array.unsafe_get a3 (b + 1))
+                (pos + Array.unsafe_get d3 (b + 1))
+           *. g
+                (Array.unsafe_get a3 (b + 2))
+                (pos + Array.unsafe_get d3 (b + 2))
+    done;
+    for m = 0 to n4 - 1 do
+      let b = m * 4 in
+      acc :=
+        !acc
+        +. Array.unsafe_get w4 m
+           *. g (Array.unsafe_get a4 b) (pos + Array.unsafe_get d4 b)
+           *. g
+                (Array.unsafe_get a4 (b + 1))
+                (pos + Array.unsafe_get d4 (b + 1))
+           *. g
+                (Array.unsafe_get a4 (b + 2))
+                (pos + Array.unsafe_get d4 (b + 2))
+           *. g
+                (Array.unsafe_get a4 (b + 3))
+                (pos + Array.unsafe_get d4 (b + 3))
+    done;
+    !acc
+
+(* Compile a factored polynomial (Polyform.factorize) into a direct
+   evaluator over a single shared position counter.  Only valid when every
+   read group advances in lockstep. *)
+let rec compile_factored ~tap_of (f : Polyform.factored) =
+  let taps =
+    Array.of_list
+      (List.map
+         (fun (r, w) ->
+           let a, d = tap_of r in
+           (a, d, w))
+         f.Polyform.flinear)
+  in
+  let lin = deg1_inner ~kconst:f.Polyform.fconst ~taps in
+  match (f.Polyform.ffactors, f.Polyform.fresidual) with
+  | [], [] -> lin
+  | factors, residual ->
+      let subs =
+        Array.of_list
+          (List.map
+             (fun (r, sub) ->
+               let a, d = tap_of r in
+               (a, d, compile_factored ~tap_of sub))
+             factors)
+      in
+      let res =
+        match residual with
+        | [] -> None
+        | monos -> Some (residual_inner ~tap_of monos)
+      in
+      fun pos ->
+        let acc = ref (lin pos) in
+        for i = 0 to Array.length subs - 1 do
+          let a, d, sub = Array.unsafe_get subs i in
+          acc := !acc +. (Float.Array.unsafe_get a (pos + d) *. sub pos)
+        done;
+        (match res with Some r -> acc := !acc +. r pos | None -> ());
+        !acc
+
+let prepare_poly grids (s : Stencil.t) (poly : Polyform.t) =
+  let groups = ref [] in
+  let group_index (g, (m : Affine.t)) =
+    let key = (g, Ivec.to_list m.Affine.scale) in
+    match List.find_opt (fun (k, _) -> k = key) !groups with
+    | Some (_, idx) -> idx
+    | None ->
+        let idx = List.length !groups in
+        groups := (key, idx) :: !groups;
+        idx
+  in
+  let read_delta (g, (m : Affine.t)) =
+    Ivec.dot (Mesh.strides (Grids.find grids g)) m.Affine.offset
+  in
+  let tables = Array.make (Polyform.max_degree + 1) [] in
+  List.iter
+    (fun (m : Polyform.mono) ->
+      let d = List.length m.Polyform.reads in
+      let entry =
+        ( m.Polyform.coeff,
+          List.map (fun r -> (group_index r, read_delta r)) m.Polyform.reads )
+      in
+      tables.(d) <- entry :: tables.(d))
+    poly.Polyform.monos;
+  let mk_table d =
+    let entries = List.rev tables.(d) in
+    let count = List.length entries in
+    let coeffs = Array.make (max count 1) 0. in
+    let idx = Array.make (max (count * 2 * d) 1) 0 in
+    List.iteri
+      (fun i (c, reads) ->
+        coeffs.(i) <- c;
+        List.iteri
+          (fun t (g, delta) ->
+            idx.((i * 2 * d) + (2 * t)) <- g;
+            idx.((i * 2 * d) + (2 * t) + 1) <- delta)
+          reads)
+      entries;
+    (count, coeffs, idx)
+  in
+  let n1, c1, i1 = mk_table 1 in
+  let n2, c2, i2 = mk_table 2 in
+  let n3, c3, i3 = mk_table 3 in
+  let n4, c4, i4 = mk_table 4 in
+  let ngroups = List.length !groups in
+  (* exactly [ngroups] entries: a zero-read (constant) stencil must yield
+     an empty group table, not a dummy entry *)
+  let gmeta =
+    Array.init ngroups (fun _ -> (Float.Array.create 0, ([||] : int array), ([||] : int array)))
+  in
+  List.iter
+    (fun ((g, scale), idx) ->
+      let mesh = Grids.find grids g in
+      gmeta.(idx) <-
+        (Mesh.data mesh, Mesh.strides mesh, Array.of_list scale))
+    !groups;
+  let out_mesh = Grids.find grids s.Stencil.output in
+  (* lockstep check: equal stride·scale vectors across all groups means the
+     group counters would always coincide — use one shared counter and the
+     factored evaluator *)
+  let stride_scale (_, strides, scale) =
+    Array.init (Array.length strides) (fun i -> strides.(i) * scale.(i))
+  in
+  let uniform =
+    ngroups = 0
+    ||
+    let ref_vec = stride_scale gmeta.(0) in
+    Array.for_all (fun gm -> Ivec.equal (stride_scale gm) ref_vec) gmeta
+  in
+  let eval_uniform =
+    if uniform then begin
+      let tap_of (g, (m : Affine.t)) =
+        let mesh = Grids.find grids g in
+        (Mesh.data mesh, Ivec.dot (Mesh.strides mesh) m.Affine.offset)
+      in
+      compile_factored ~tap_of (Polyform.factorize poly)
+    end
+    else fun _ -> nan
+  in
+  {
+    gmeta;
+    gdata = Array.map (fun (d, _, _) -> d) gmeta;
+    uniform;
+    eval_uniform;
+    n1;
+    c1;
+    i1;
+    n2;
+    c2;
+    i2;
+    n3;
+    c3;
+    i3;
+    n4;
+    c4;
+    i4;
+    kconst = poly.Polyform.const;
+    out_data = Mesh.data out_mesh;
+    out_strides = Mesh.strides out_mesh;
+    out_map = s.Stencil.out_map;
+  }
+
+(* Instantiate one tile of a prepared polynomial stencil: all geometry is
+   computed here, once; the returned thunk only runs the loops.  The thunk
+   owns its odometer buffers, so distinct tiles may run concurrently while
+   one tile's thunk is reused across kernel invocations for free. *)
+let instantiate_poly prep rect =
+  let cnt = Domain.counts rect in
+  let n = Ivec.dims cnt in
+  let ngroups = Array.length prep.gmeta in
+  let gdata = prep.gdata in
+  (* per-tile geometry: group bases and per-axis increments *)
+  let gbase = Array.make ngroups 0 in
+  let ginc = Array.make_matrix ngroups n 0 in
+  Array.iteri
+    (fun g (_, strides, scale) ->
+      let b = ref 0 in
+      for i = 0 to n - 1 do
+        b := !b + (strides.(i) * scale.(i) * rect.Domain.rlo.(i));
+        ginc.(g).(i) <- strides.(i) * scale.(i) * rect.Domain.rstride.(i)
+      done;
+      gbase.(g) <- !b)
+    prep.gmeta;
+  let out_origin = Affine.apply prep.out_map rect.Domain.rlo in
+  let out_base = Ivec.dot prep.out_strides out_origin in
+  let out_inc =
+    Array.init n (fun i ->
+        prep.out_strides.(i)
+        * prep.out_map.Affine.scale.(i)
+        * rect.Domain.rstride.(i))
+  in
+  let inner = n - 1 in
+  let inner_cnt = cnt.(inner) in
+  let ginc_inner = Array.init ngroups (fun g -> ginc.(g).(inner)) in
+  let out_inner_inc = out_inc.(inner) in
+  let { n1; c1; i1; n2; c2; i2; n3; c3; i3; n4; c4; i4; kconst; out_data; _ }
+      =
+    prep
+  in
+  let uniform = prep.uniform in
+  let outer_total = ref 1 in
+  for i = 0 to inner - 1 do
+    outer_total := !outer_total * cnt.(i)
+  done;
+  let outer_total = !outer_total in
+  let oidx = Array.make (max inner 1) 0 in
+  let bump () =
+    let rec go i =
+      if i >= 0 then begin
+        oidx.(i) <- oidx.(i) + 1;
+        if oidx.(i) >= cnt.(i) then begin
+          oidx.(i) <- 0;
+          go (i - 1)
+        end
+      end
+    in
+    go (inner - 1)
+  in
+  if uniform then begin
+    (* single shared counter; degree-1-only polynomials additionally get an
+       unrolled arity-specialised evaluator *)
+    let inc0 = if ngroups = 0 then out_inc else ginc.(0) in
+    let base0 = if ngroups = 0 then out_base else gbase.(0) in
+    let inc0_inner = if ngroups = 0 then out_inner_inc else ginc_inner.(0) in
+    let eval = prep.eval_uniform in
+    fun () ->
+    Array.fill oidx 0 (Array.length oidx) 0;
+    for _row = 0 to outer_total - 1 do
+      let pos = ref base0 and out_flat = ref out_base in
+      for i = 0 to inner - 1 do
+        pos := !pos + (oidx.(i) * inc0.(i));
+        out_flat := !out_flat + (oidx.(i) * out_inc.(i))
+      done;
+      for _c = 0 to inner_cnt - 1 do
+        Float.Array.unsafe_set out_data !out_flat (eval !pos);
+        pos := !pos + inc0_inner;
+        out_flat := !out_flat + out_inner_inc
+      done;
+      bump ()
+    done
+  end
+  else begin
+    let gpos = Array.make (max ngroups 1) 0 in
+    let rd g d =
+      Float.Array.unsafe_get
+        (Array.unsafe_get gdata g)
+        (Array.unsafe_get gpos g + d)
+    in
+    fun () ->
+    Array.fill oidx 0 (Array.length oidx) 0;
+    for _row = 0 to outer_total - 1 do
+      for g = 0 to ngroups - 1 do
+        let flat = ref gbase.(g) in
+        let inc = ginc.(g) in
+        for i = 0 to inner - 1 do
+          flat := !flat + (oidx.(i) * inc.(i))
+        done;
+        gpos.(g) <- !flat
+      done;
+      let out_flat = ref out_base in
+      for i = 0 to inner - 1 do
+        out_flat := !out_flat + (oidx.(i) * out_inc.(i))
+      done;
+      for _c = 0 to inner_cnt - 1 do
+        let acc = ref kconst in
+        for m = 0 to n1 - 1 do
+          let b = m * 2 in
+          acc :=
+            !acc
+            +. (Array.unsafe_get c1 m
+               *. rd (Array.unsafe_get i1 b) (Array.unsafe_get i1 (b + 1)))
+        done;
+        for m = 0 to n2 - 1 do
+          let b = m * 4 in
+          acc :=
+            !acc
+            +. Array.unsafe_get c2 m
+               *. rd (Array.unsafe_get i2 b) (Array.unsafe_get i2 (b + 1))
+               *. rd
+                    (Array.unsafe_get i2 (b + 2))
+                    (Array.unsafe_get i2 (b + 3))
+        done;
+        for m = 0 to n3 - 1 do
+          let b = m * 6 in
+          acc :=
+            !acc
+            +. Array.unsafe_get c3 m
+               *. rd (Array.unsafe_get i3 b) (Array.unsafe_get i3 (b + 1))
+               *. rd
+                    (Array.unsafe_get i3 (b + 2))
+                    (Array.unsafe_get i3 (b + 3))
+               *. rd
+                    (Array.unsafe_get i3 (b + 4))
+                    (Array.unsafe_get i3 (b + 5))
+        done;
+        for m = 0 to n4 - 1 do
+          let b = m * 8 in
+          acc :=
+            !acc
+            +. Array.unsafe_get c4 m
+               *. rd (Array.unsafe_get i4 b) (Array.unsafe_get i4 (b + 1))
+               *. rd
+                    (Array.unsafe_get i4 (b + 2))
+                    (Array.unsafe_get i4 (b + 3))
+               *. rd
+                    (Array.unsafe_get i4 (b + 4))
+                    (Array.unsafe_get i4 (b + 5))
+               *. rd
+                    (Array.unsafe_get i4 (b + 6))
+                    (Array.unsafe_get i4 (b + 7))
+        done;
+        Float.Array.unsafe_set out_data !out_flat !acc;
+        out_flat := !out_flat + out_inner_inc;
+        for g = 0 to ngroups - 1 do
+          gpos.(g) <- gpos.(g) + Array.unsafe_get ginc_inner g
+        done
+      done;
+      bump ()
+    done
+  end
+
+let nop () = ()
+
+let prepare_compiled grids ~params (s : Stencil.t) =
+  match Polyform.of_expr ~params s.Stencil.expr with
+  | Some poly ->
+      let prep = prepare_poly grids s poly in
+      fun rect ->
+        if Domain.is_empty rect then nop else instantiate_poly prep rect
+  | None ->
+      fun rect () ->
+        if not (Domain.is_empty rect) then
+          run_rect_closure grids ~params s rect
+
+let run_rect_compiled grids ~params s rect =
+  (prepare_compiled grids ~params s) rect ()
+
+let validate_stencil grids ~shape (s : Stencil.t) =
+  let n = Ivec.dims shape in
+  List.iter
+    (fun g ->
+      let mesh = Grids.find grids g in
+      if Mesh.dims mesh <> n then
+        invalid_arg
+          (Printf.sprintf
+             "stencil %s: grid %S has rank %d but iteration shape has rank %d"
+             s.Stencil.label g (Mesh.dims mesh) n))
+    (Stencil.grids s);
+  let grid_shape g = Mesh.shape (Grids.find grids g) in
+  match Sf_analysis.Footprint.check_in_bounds ~shape ~grid_shape s with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg

@@ -1,0 +1,46 @@
+(** Rect executors: the innermost machinery shared by all backends.
+
+    A backend lowers a stencil group to a schedule of (stencil, lattice
+    tile) tasks.  {!prepare_compiled} performs the per-invocation
+    compilation work for one stencil — polynomial normalisation
+    ({!Polyform}), read grouping, delta computation, grid lookups — and
+    returns a reusable, thread-safe tile runner; executing the (many)
+    tiles then costs only index arithmetic.  Two execution strategies
+    implement the same semantics:
+
+    - {!run_rect_interp} walks the expression AST at every point with
+      bounds-checked mesh access — slow, obviously correct, the oracle.
+    - the compiled path plays the role of the generated C: per-grid flat
+      indices are strength-reduced to incremental adds, polynomial
+      expressions become unrolled monomial-table loops, and the inner loop
+      performs unchecked reads/writes (legality is established beforehand
+      by {!Sf_analysis.Footprint.check_in_bounds}).
+
+    Execution order within a rect is row-major over the lattice; in-place
+    stencils therefore see earlier writes of the same sweep, which is the
+    DSL's sequential semantics.  Backends only reorder or parallelise when
+    the analysis proves it unobservable. *)
+
+open Sf_mesh
+open Snowflake
+
+val run_rect_interp :
+  Grids.t -> params:(string -> float) -> Stencil.t -> Domain.resolved -> unit
+
+val prepare_compiled :
+  Grids.t -> params:(string -> float) -> Stencil.t ->
+  (Domain.resolved -> unit -> unit)
+(** Two-stage: applying the result to a tile *instantiates* it (geometry,
+    buffers — do this once per tile, at plan-build time) and yields a
+    zero-setup thunk executing the tile.  Thunks for distinct tiles may run
+    concurrently; one thunk is not reentrant. *)
+
+val run_rect_compiled :
+  Grids.t -> params:(string -> float) -> Stencil.t -> Domain.resolved -> unit
+(** [prepare_compiled] + immediate single-tile run (test convenience). *)
+
+val validate_stencil : Grids.t -> shape:Sf_util.Ivec.t -> Stencil.t -> unit
+(** Checks that every touched grid exists, ranks agree with the iteration
+    shape, and all accesses stay in bounds; raises [Invalid_argument] with a
+    descriptive message otherwise.  Backends call this once per kernel
+    invocation before entering unchecked loops. *)

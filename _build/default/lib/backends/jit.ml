@@ -1,0 +1,92 @@
+open Sf_util
+open Snowflake
+
+type backend = Interp | Compiled | Openmp | Opencl | Custom of string
+
+let backend_name = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Openmp -> "openmp"
+  | Opencl -> "opencl"
+  | Custom name -> name
+
+let builtin_names = [ "interp"; "compiled"; "openmp"; "opencl" ]
+
+let registry :
+    (string, Config.t -> shape:Ivec.t -> Group.t -> Kernel.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | "openmp" -> Some Openmp
+  | "opencl" -> Some Opencl
+  | name -> if Hashtbl.mem registry name then Some (Custom name) else None
+
+let all_backends = [ Interp; Compiled; Openmp; Opencl ]
+
+let registered_backends () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+type key = {
+  backend : backend;
+  shape : int list;
+  group_hash : int;
+  config : Config.t;
+}
+
+let cache : (key, Kernel.t) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
+let misses = ref 0
+
+let compile ?(config = Config.default) backend ~shape group =
+  let key =
+    {
+      backend;
+      shape = Ivec.to_list shape;
+      group_hash = Group.hash group;
+      config;
+    }
+  in
+  match Hashtbl.find_opt cache key with
+  | Some kernel ->
+      incr hits;
+      kernel
+  | None ->
+      incr misses;
+      let group = Passes.optimize config ~shape group in
+      let kernel =
+        match backend with
+        | Interp -> Serial_backend.compile_interp config ~shape group
+        | Compiled -> Serial_backend.compile_compiled config ~shape group
+        | Openmp -> Openmp_backend.compile config ~shape group
+        | Opencl -> Opencl_backend.compile config ~shape group
+        | Custom name -> (
+            match Hashtbl.find_opt registry name with
+            | Some compiler -> compiler config ~shape group
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Jit.compile: unknown custom backend %S"
+                     name))
+      in
+      Hashtbl.replace cache key kernel;
+      kernel
+
+let compile_stencil ?config backend ~shape stencil =
+  compile ?config backend ~shape
+    (Group.make ~label:stencil.Stencil.label [ stencil ])
+
+let register_backend ~name compiler =
+  if List.mem name builtin_names then
+    invalid_arg
+      (Printf.sprintf "Jit.register_backend: %S is a built-in backend" name);
+  if Hashtbl.mem registry name then Hashtbl.reset cache;
+  Hashtbl.replace registry name compiler
+
+let cache_stats () = (!hits, !misses)
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0

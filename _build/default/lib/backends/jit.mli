@@ -1,0 +1,49 @@
+(** The JIT front door: backend selection plus the compile cache.
+
+    [compile] lowers a stencil group for a concrete iteration shape with the
+    chosen micro-compiler and memoises the result — the paper's "call-ables
+    are cached, for subsequent use".  The cache key is structural (group
+    hash × shape × backend × options), so rebuilding an equal group from
+    scratch still hits. *)
+
+open Sf_util
+open Snowflake
+
+type backend = Interp | Compiled | Openmp | Opencl | Custom of string
+(** [Custom name] selects a user-registered micro-compiler — the paper's
+    hybrid model (Fig. 1c): the framework ships four backends and "allows
+    new backends to be added by users" through {!register_backend}. *)
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend option
+(** Resolves built-ins first, then registered custom backends. *)
+
+val all_backends : backend list
+(** The built-ins only. *)
+
+val register_backend :
+  name:string ->
+  (Config.t -> shape:Ivec.t -> Group.t -> Kernel.t) ->
+  unit
+(** Install a custom micro-compiler under [name].  The function receives
+    exactly what the built-in backends receive (options, the iteration
+    shape and the analysed group) and must return a kernel; compiled
+    results are cached like any other backend.  Re-registering a name
+    replaces the previous compiler (and clears the cache, since cached
+    kernels may stem from the old one).  Raises [Invalid_argument] if
+    [name] collides with a built-in. *)
+
+val registered_backends : unit -> string list
+
+val compile :
+  ?config:Config.t -> backend -> shape:Ivec.t -> Group.t -> Kernel.t
+
+val compile_stencil :
+  ?config:Config.t -> backend -> shape:Ivec.t -> Stencil.t -> Kernel.t
+(** Wraps the stencil in a singleton group. *)
+
+val cache_stats : unit -> int * int
+(** (hits, misses) since start or last {!clear_cache}. *)
+
+val clear_cache : unit -> unit

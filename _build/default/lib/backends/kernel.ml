@@ -1,0 +1,16 @@
+open Sf_mesh
+
+type t = {
+  name : string;
+  backend : string;
+  run : ?params:(string * float) list -> Grids.t -> unit;
+  description : string;
+}
+
+let make ~name ~backend ?(description = "") run =
+  { name; backend; run; description }
+
+let param_lookup bindings p =
+  match List.assoc_opt p bindings with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "kernel: unbound parameter %S" p)

@@ -1,0 +1,27 @@
+(** Executable kernels — what a Snowflake micro-compiler produces.
+
+    The paper's [compile] method returns a Python callable wrapping a JIT'd
+    shared object; here compilation returns a [Kernel.t] whose [run] binds a
+    set of named meshes (and scalar parameter values) and performs the
+    stencil group.  Kernels are pure closures over the *plan* (schedule,
+    tiles), not over mesh storage, so one kernel can be reused across many
+    mesh instances of the same shape. *)
+
+open Sf_mesh
+
+type t = {
+  name : string;
+  backend : string;
+  run : ?params:(string * float) list -> Grids.t -> unit;
+  description : string;  (** human-readable plan summary, for logs/tests *)
+}
+
+val make :
+  name:string ->
+  backend:string ->
+  ?description:string ->
+  (?params:(string * float) list -> Grids.t -> unit) ->
+  t
+
+val param_lookup : (string * float) list -> string -> float
+(** Lookup that raises [Invalid_argument] naming the missing parameter. *)

@@ -1,0 +1,14 @@
+open Sf_util
+open Snowflake
+
+let interleave tiles_per_color =
+  let tagged =
+    List.concat_map
+      (fun tiles -> List.mapi (fun i t -> (t.Domain.rlo, i, t)) tiles)
+      tiles_per_color
+  in
+  let compare_tag (lo1, i1, _) (lo2, i2, _) =
+    let c = Ivec.compare lo1 lo2 in
+    if c <> 0 then c else compare i1 i2
+  in
+  List.stable_sort compare_tag tagged |> List.map (fun (_, _, t) -> t)

@@ -1,0 +1,16 @@
+(** Multicolor reordering (paper §IV.A).
+
+    A colored stencil's domain is a union of strided rects; executing them
+    color-after-color streams the mesh through memory once per color.  The
+    reordering transform interleaves the tiles of all colors in spatial
+    (row-major origin) order so that nearby points of different colors are
+    visited close together in time, cutting slow-memory re-reads.  It is
+    legal exactly when the union's write lattices are pairwise disjoint,
+    which the analysis checks before the backend applies it. *)
+
+open Snowflake
+
+val interleave : Domain.resolved list list -> Domain.resolved list
+(** [interleave tiles_per_color] merges the per-color tile lists into one
+    list sorted by tile origin (row-major).  The relative order of tiles
+    within one color is preserved. *)

@@ -1,0 +1,75 @@
+(* The OpenCL-style micro-compiler (paper §IV.B).
+
+   Each stencil becomes one NDRange "kernel enqueue" on an in-order queue:
+   a barrier separates consecutive stencils (no cross-stencil overlap,
+   matching the backend the paper describes).  The NDRange is decomposed
+   with tall-skinny blocking: 2-D tiles of the innermost two axes, each
+   tile rolled upward through the full extent of the outer axes; every tile
+   is a work-group, farmed to the pool's compute units.  Stencils that are
+   not point-parallel degrade to a single sequential work-item. *)
+
+open Snowflake
+open Sf_analysis
+
+type enqueue = {
+  stencil : Stencil.t;
+  work_groups : Domain.resolved list;
+  parallel_ok : bool;
+}
+
+let plan_stencil (cfg : Config.t) ~shape s =
+  let rects = Domain.resolve ~shape s.Stencil.domain in
+  let parallel_ok = Dependence.point_parallel ~shape s in
+  let work_groups =
+    if not parallel_ok then rects
+    else begin
+      let per_rect =
+        List.map (Tiling.tall_skinny ~tile:cfg.Config.tall_skinny) rects
+      in
+      if cfg.Config.multicolor then Multicolor.interleave per_rect
+      else List.concat per_rect
+    end
+  in
+  { stencil = s; work_groups; parallel_ok }
+
+let compile (cfg : Config.t) ~shape (group : Group.t) =
+  let shape = Array.copy shape in
+  let enqueues =
+    List.map (plan_stencil cfg ~shape) (Group.stencils group)
+  in
+  let pool = Pool.create ~workers:cfg.Config.workers in
+  let description =
+    Printf.sprintf
+      "opencl: %d enqueue(s); tall-skinny %dx%d; %d compute unit(s)"
+      (List.length enqueues)
+      (fst cfg.Config.tall_skinny)
+      (snd cfg.Config.tall_skinny)
+      (Pool.workers pool)
+  in
+  let cache = Run_cache.create () in
+  let names = Group.grids group in
+  let run ?(params = []) grids =
+    let launches =
+      Run_cache.get cache ~grids ~names ~params (fun () ->
+          let lookup = Kernel.param_lookup params in
+          if cfg.Config.validate then
+            List.iter
+              (fun e -> Exec.validate_stencil grids ~shape e.stencil)
+              enqueues;
+          List.map
+            (fun e ->
+              let instantiate =
+                Exec.prepare_compiled grids ~params:lookup e.stencil
+              in
+              let thunks = List.map instantiate e.work_groups in
+              if e.parallel_ok then `Parallel (Array.of_list thunks)
+              else `Sequential (fun () -> List.iter (fun f -> f ()) thunks))
+            enqueues)
+    in
+    List.iter
+      (function
+        | `Parallel tasks -> Pool.run_tasks pool tasks
+        | `Sequential f -> f ())
+      launches
+  in
+  Kernel.make ~name:group.Group.label ~backend:"opencl" ~description run

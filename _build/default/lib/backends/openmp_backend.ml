@@ -1,0 +1,80 @@
+(* The OpenMP-style micro-compiler (paper §IV.A).
+
+   Lowering: the group's stencils are partitioned into waves by the greedy
+   barrier-placement (or by DAG levels); each point-parallel stencil is
+   split into subtasks (explicit tiles, or outer-axis chunks); a wave's
+   tasks are farmed to the pool and joined — the join is the OpenMP
+   barrier.  Stencils the analysis cannot prove point-parallel run as a
+   single sequential task, preserving the in-place sequential semantics
+   while still overlapping with independent stencils of the same wave. *)
+
+open Snowflake
+open Sf_analysis
+
+type stencil_plan = {
+  stencil : Stencil.t;
+  tiles : Domain.resolved list;  (** independent iff [parallel_ok] *)
+  parallel_ok : bool;
+}
+
+let plan_stencil (cfg : Config.t) ~shape s =
+  let rects = Domain.resolve ~shape s.Stencil.domain in
+  let parallel_ok = Dependence.point_parallel ~shape s in
+  let tiles =
+    if not parallel_ok then rects
+    else
+      let tile_rect r =
+        match cfg.Config.tile with
+        | Some t -> Tiling.split ~tile:t r
+        | None -> Tiling.split_outer ~chunks:cfg.Config.chunks r
+      in
+      let per_rect = List.map tile_rect rects in
+      if cfg.Config.multicolor then Multicolor.interleave per_rect
+      else List.concat per_rect
+  in
+  { stencil = s; tiles; parallel_ok }
+
+let waves_of cfg ~shape group =
+  match cfg.Config.schedule with
+  | Config.Greedy_waves -> Schedule.greedy_waves ~shape group
+  | Config.Dag_levels -> Schedule.dag_waves (Schedule.build_dag ~shape group)
+
+let compile (cfg : Config.t) ~shape (group : Group.t) =
+  let shape = Array.copy shape in
+  let stencils = Array.of_list (Group.stencils group) in
+  let plans = Array.map (plan_stencil cfg ~shape) stencils in
+  let waves = waves_of cfg ~shape group in
+  let pool = Pool.create ~workers:cfg.Config.workers in
+  let description =
+    Format.asprintf "openmp: %d stencil(s) in %d wave(s); %d worker(s)@ %a"
+      (Array.length stencils) (List.length waves) (Pool.workers pool)
+      Schedule.pp_waves waves
+  in
+  let cache = Run_cache.create () in
+  let names = Group.grids group in
+  let run ?(params = []) grids =
+    let task_waves =
+      Run_cache.get cache ~grids ~names ~params (fun () ->
+          let lookup = Kernel.param_lookup params in
+          if cfg.Config.validate then
+            Array.iter
+              (fun p -> Exec.validate_stencil grids ~shape p.stencil)
+              plans;
+          List.map
+            (fun wave ->
+              List.concat_map
+                (fun idx ->
+                  let p = plans.(idx) in
+                  let instantiate =
+                    Exec.prepare_compiled grids ~params:lookup p.stencil
+                  in
+                  let thunks = List.map instantiate p.tiles in
+                  if p.parallel_ok then thunks
+                  else [ (fun () -> List.iter (fun f -> f ()) thunks) ])
+                wave
+              |> Array.of_list)
+            waves)
+    in
+    List.iter (Pool.run_tasks pool) task_waves
+  in
+  Kernel.make ~name:group.Group.label ~backend:"openmp" ~description run

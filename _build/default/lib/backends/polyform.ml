@@ -1,0 +1,184 @@
+open Snowflake
+
+type read = string * Affine.t
+type mono = { coeff : float; reads : read list }
+type t = { const : float; monos : mono list }
+
+let max_degree = 4
+let max_monos = 128
+
+let compare_read (g1, m1) (g2, m2) =
+  let c = String.compare g1 g2 in
+  if c <> 0 then c
+  else
+    let c = Sf_util.Ivec.compare m1.Affine.scale m2.Affine.scale in
+    if c <> 0 then c
+    else Sf_util.Ivec.compare m1.Affine.offset m2.Affine.offset
+
+module Key = Map.Make (struct
+  type t = read list
+
+  let compare a b = List.compare compare_read a b
+end)
+
+(* A polynomial under construction: monomial key (sorted read list) ->
+   coefficient.  The empty key is the constant term. *)
+type acc = float Key.t
+
+let const_poly c : acc = if c = 0. then Key.empty else Key.singleton [] c
+
+let add_poly (a : acc) (b : acc) : acc =
+  Key.union (fun _ x y -> Some (x +. y)) a b
+
+let scale_poly k (a : acc) : acc =
+  if k = 0. then Key.empty else Key.map (fun c -> k *. c) a
+
+exception Too_big
+
+let mul_poly (a : acc) (b : acc) : acc =
+  let result = ref Key.empty in
+  Key.iter
+    (fun ra ca ->
+      Key.iter
+        (fun rb cb ->
+          let reads = List.sort compare_read (ra @ rb) in
+          if List.length reads > max_degree then raise Too_big;
+          result :=
+            Key.update reads
+              (function None -> Some (ca *. cb) | Some c -> Some (c +. (ca *. cb)))
+              !result;
+          if Key.cardinal !result > max_monos then raise Too_big)
+        b)
+    a;
+  !result
+
+let of_expr ~params expr =
+  let rec go = function
+    | Expr.Const c -> const_poly c
+    | Expr.Param p -> const_poly (params p)
+    | Expr.Read (g, m) -> Key.singleton [ (g, m) ] 1.
+    | Expr.Neg a -> scale_poly (-1.) (go a)
+    | Expr.Add (a, b) -> add_poly (go a) (go b)
+    | Expr.Sub (a, b) -> add_poly (go a) (scale_poly (-1.) (go b))
+    | Expr.Mul (a, b) -> mul_poly (go a) (go b)
+    | Expr.Div (a, b) -> (
+        let pb = go b in
+        match Key.bindings pb with
+        | [] -> raise Too_big (* division by the zero polynomial *)
+        | [ ([], c) ] when c <> 0. -> scale_poly (1. /. c) (go a)
+        | _ -> raise Too_big (* reads in a denominator: not polynomial *))
+  in
+  match go expr with
+  | poly ->
+      let const = match Key.find_opt [] poly with Some c -> c | None -> 0. in
+      let monos =
+        Key.fold
+          (fun reads coeff acc ->
+            if reads = [] || coeff = 0. then acc
+            else { coeff; reads } :: acc)
+          poly []
+        |> List.rev
+      in
+      Some { const; monos }
+  | exception Too_big -> None
+
+let eval t ~read_value =
+  List.fold_left
+    (fun acc m ->
+      acc
+      +. List.fold_left (fun p r -> p *. read_value r) m.coeff m.reads)
+    t.const t.monos
+
+type factored = {
+  fconst : float;
+  flinear : (read * float) list;
+  ffactors : (read * factored) list;
+  fresidual : mono list;
+      (* higher-degree monomials sharing no read with any other: evaluated
+         directly rather than through a singleton factor *)
+}
+
+(* Remove one occurrence of [r] from a sorted read list. *)
+let remove_one r reads =
+  let rec go = function
+    | [] -> None
+    | x :: rest ->
+        if compare_read x r = 0 then Some rest
+        else Option.map (fun rs -> x :: rs) (go rest)
+  in
+  go reads
+
+let rec factorize_monos ~const monos =
+  let linear, higher =
+    List.partition (fun m -> List.length m.reads <= 1) monos
+  in
+  let fconst =
+    const
+    +. List.fold_left
+         (fun acc m -> if m.reads = [] then acc +. m.coeff else acc)
+         0. linear
+  in
+  let flinear =
+    List.filter_map
+      (fun m -> match m.reads with [ r ] -> Some (r, m.coeff) | _ -> None)
+      linear
+  in
+  let rec pull higher acc =
+    match higher with
+    | [] -> (List.rev acc, [])
+    | _ ->
+        (* read occurring in the most remaining higher-degree monomials *)
+        let counts = ref Key.empty in
+        List.iter
+          (fun m ->
+            List.sort_uniq compare_read m.reads
+            |> List.iter (fun r ->
+                   counts :=
+                     Key.update [ r ]
+                       (function None -> Some 1. | Some c -> Some (c +. 1.))
+                       !counts))
+          higher;
+        let best =
+          Key.fold
+            (fun k c (bk, bc) -> if c > bc then (k, c) else (bk, bc))
+            !counts ([], 0.)
+        in
+        let r, best_count =
+          match best with [ r ], c -> (r, c) | _ -> assert false
+        in
+        if best_count < 2. then (List.rev acc, higher)
+        else begin
+          let withr, without =
+            List.partition
+              (fun m -> Option.is_some (remove_one r m.reads))
+              higher
+          in
+          let quotient =
+            List.map
+              (fun m -> { m with reads = Option.get (remove_one r m.reads) })
+              withr
+          in
+          pull without ((r, factorize_monos ~const:0. quotient) :: acc)
+        end
+  in
+  let ffactors, fresidual = pull higher [] in
+  { fconst; flinear; ffactors; fresidual }
+
+let factorize t = factorize_monos ~const:t.const t.monos
+
+let rec eval_factored f ~read_value =
+  let acc =
+    List.fold_left
+      (fun acc (r, w) -> acc +. (w *. read_value r))
+      f.fconst f.flinear
+  in
+  let acc =
+    List.fold_left
+      (fun acc (r, sub) ->
+        acc +. (read_value r *. eval_factored sub ~read_value))
+      acc f.ffactors
+  in
+  List.fold_left
+    (fun acc m ->
+      acc +. List.fold_left (fun p r -> p *. read_value r) m.coeff m.reads)
+    acc f.fresidual

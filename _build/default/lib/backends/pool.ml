@@ -1,0 +1,41 @@
+type t = { workers : int }
+
+let create ~workers = { workers = max 1 workers }
+let workers t = t.workers
+let sequential = { workers = 1 }
+
+let run_tasks t tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if t.workers <= 1 || n = 1 then Array.iter (fun task -> task ()) tasks
+  else begin
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try tasks.(i) () with
+          | e ->
+              (* keep the first failure; racing writers may overwrite, which
+                 is acceptable — any failure aborts the join *)
+              Atomic.set failure (Some e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init
+        (min (t.workers - 1) (n - 1))
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ()
+  end
+
+let parallel_for t n f =
+  run_tasks t (Array.init n (fun i () -> f i))

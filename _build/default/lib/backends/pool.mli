@@ -1,0 +1,32 @@
+(** A small fork-join task pool over OCaml domains.
+
+    This is the substrate standing in for the paper's OpenMP runtime: a
+    parallel region executes an array of independent tasks and joins
+    (an implicit barrier).  With [workers <= 1] everything runs inline on
+    the calling domain, which is also the sensible default on a single-core
+    host; the scheduling code path is identical either way.
+
+    Tasks within one [run_tasks] call MUST be independent — that is exactly
+    what the Diophantine analysis certifies before a backend enqueues
+    them. *)
+
+type t
+
+val create : workers:int -> t
+(** [workers] is the total degree of parallelism (like [OMP_NUM_THREADS]);
+    values below 2 mean sequential execution.  Creation is cheap; domains
+    are spawned per parallel region, not kept hot. *)
+
+val workers : t -> int
+
+val sequential : t
+(** A pool that always runs inline. *)
+
+val run_tasks : t -> (unit -> unit) array -> unit
+(** Execute all tasks and return when every one has finished.  Tasks are
+    distributed dynamically (an atomic work counter — task farming, not
+    static chunking, matching the paper's OpenMP backend).  Exceptions in
+    tasks are re-raised on the caller after the join. *)
+
+val parallel_for : t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f 0 .. f (n-1)] as tasks. *)

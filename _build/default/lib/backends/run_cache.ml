@@ -1,0 +1,24 @@
+open Sf_mesh
+
+type 'a entry = {
+  meshes : Mesh.t list;  (** in [names] order, compared with [==] *)
+  params : (string * float) list;
+  value : 'a;
+}
+
+type 'a t = 'a entry option ref
+
+let create () = ref None
+
+let get cache ~grids ~names ~params build =
+  let meshes = List.map (Grids.find grids) names in
+  match !cache with
+  | Some e
+    when List.length e.meshes = List.length meshes
+         && List.for_all2 ( == ) e.meshes meshes
+         && e.params = params ->
+      e.value
+  | Some _ | None ->
+      let value = build () in
+      cache := Some { meshes; params; value };
+      value

@@ -1,0 +1,88 @@
+open Snowflake
+open Sf_analysis
+
+type task = { stencil : Stencil.t; tiles : Domain.resolved list }
+
+let writes_of t =
+  List.map (Footprint.affine_image t.stencil.Stencil.out_map) t.tiles
+
+(* reads grouped by grid, imaged over every tile of the task *)
+let reads_by_grid t =
+  List.map
+    (fun (g, m) -> (g, List.map (Footprint.affine_image m) t.tiles))
+    (Stencil.reads t.stencil)
+
+let pair_conflict a b =
+  let wa = writes_of a and wb = writes_of b in
+  let ga = a.stencil.Stencil.output and gb = b.stencil.Stencil.output in
+  if String.equal ga gb && Footprint.lattice_lists_intersect wa wb then
+    Some "write/write"
+  else if
+    List.exists
+      (fun (g, lats) ->
+        String.equal g ga && Footprint.lattice_lists_intersect wa lats)
+      (reads_by_grid b)
+  then Some "write/read"
+  else if
+    List.exists
+      (fun (g, lats) ->
+        String.equal g gb && Footprint.lattice_lists_intersect wb lats)
+      (reads_by_grid a)
+  then Some "read/write"
+  else None
+
+let check_wave tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let result = ref (Ok ()) in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         match pair_conflict arr.(i) arr.(j) with
+         | Some kind ->
+             result :=
+               Error
+                 (Printf.sprintf "tasks %d (%s) and %d (%s) conflict: %s" i
+                    arr.(i).stencil.Stencil.label j
+                    arr.(j).stencil.Stencil.label kind);
+             raise Exit
+         | None -> ()
+       done
+     done
+   with Exit -> ());
+  !result
+
+let check_waves waves =
+  List.fold_left
+    (fun acc wave -> match acc with Ok () -> check_wave wave | e -> e)
+    (Ok ()) waves
+
+let openmp_plan config ~shape group =
+  let stencils = Array.of_list (Group.stencils group) in
+  let plans = Array.map (Openmp_backend.plan_stencil config ~shape) stencils in
+  let waves = Openmp_backend.waves_of config ~shape group in
+  List.map
+    (fun wave ->
+      List.concat_map
+        (fun idx ->
+          let p = plans.(idx) in
+          if p.Openmp_backend.parallel_ok then
+            List.map
+              (fun tile ->
+                { stencil = p.Openmp_backend.stencil; tiles = [ tile ] })
+              p.Openmp_backend.tiles
+          else
+            [ { stencil = p.Openmp_backend.stencil; tiles = p.Openmp_backend.tiles } ])
+        wave)
+    waves
+
+let opencl_plan config ~shape group =
+  List.map
+    (fun s ->
+      let e = Opencl_backend.plan_stencil config ~shape s in
+      if e.Opencl_backend.parallel_ok then
+        List.map
+          (fun wg -> { stencil = s; tiles = [ wg ] })
+          e.Opencl_backend.work_groups
+      else [ { stencil = s; tiles = e.Opencl_backend.work_groups } ])
+    (Group.stencils group)

@@ -1,0 +1,31 @@
+(** Dynamic-plan conflict checking.
+
+    A backend's parallel plan is a list of waves, each wave a set of tasks
+    executed concurrently; a task covers one tile (or, for a stencil the
+    analysis could not prove point-parallel, its whole domain run
+    sequentially).  [check_wave] verifies the fundamental safety property
+    the Diophantine analysis is supposed to guarantee — no two concurrent
+    tasks touch the same cell with at least one write — by exact lattice
+    intersection over the *actual tiles* of the plan.  The test suite runs
+    it over randomly generated groups as an end-to-end check on the
+    analysis + tiling + scheduling pipeline. *)
+
+open Snowflake
+
+type task = { stencil : Stencil.t; tiles : Domain.resolved list }
+(** Lattice points this task iterates; intra-task ordering is sequential,
+    so only inter-task overlap is a conflict. *)
+
+val check_wave : task list -> (unit, string) result
+(** [Error msg] names the first conflicting pair. *)
+
+val check_waves : task list list -> (unit, string) result
+
+val openmp_plan :
+  Config.t -> shape:Sf_util.Ivec.t -> Group.t -> task list list
+(** The exact wave/task decomposition the OpenMP backend executes. *)
+
+val opencl_plan :
+  Config.t -> shape:Sf_util.Ivec.t -> Group.t -> task list list
+(** Work-group decomposition of the OpenCL backend; each enqueue is its
+    own wave (in-order queue). *)

@@ -1,0 +1,54 @@
+(* Sequential micro-compilers: the reference interpreter and the
+   strength-reduced "C-like" executor.  Both run stencils in program order,
+   rects in union order, points row-major — the DSL's sequential
+   semantics. *)
+
+open Snowflake
+
+let compile_interp (cfg : Config.t) ~shape (group : Group.t) =
+  let shape = Array.copy shape in
+  let plans =
+    List.map
+      (fun s -> (s, Domain.resolve ~shape s.Stencil.domain))
+      (Group.stencils group)
+  in
+  let run ?(params = []) grids =
+    let params = Kernel.param_lookup params in
+    List.iter
+      (fun (s, rects) ->
+        if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
+        List.iter (fun r -> Exec.run_rect_interp grids ~params s r) rects)
+      plans
+  in
+  Kernel.make ~name:group.Group.label ~backend:"interp"
+    ~description:
+      (Printf.sprintf "interp: %d stencil(s), sequential" (List.length plans))
+    run
+
+let compile_compiled (cfg : Config.t) ~shape (group : Group.t) =
+  let shape = Array.copy shape in
+  let plans =
+    List.map
+      (fun s -> (s, Domain.resolve ~shape s.Stencil.domain))
+      (Group.stencils group)
+  in
+  let cache = Run_cache.create () in
+  let names = Group.grids group in
+  let run ?(params = []) grids =
+    let runners =
+      Run_cache.get cache ~grids ~names ~params (fun () ->
+          let lookup = Kernel.param_lookup params in
+          List.concat_map
+            (fun (s, rects) ->
+              if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
+              let instantiate = Exec.prepare_compiled grids ~params:lookup s in
+              List.map instantiate rects)
+            plans)
+    in
+    List.iter (fun thunk -> thunk ()) runners
+  in
+  Kernel.make ~name:group.Group.label ~backend:"compiled"
+    ~description:
+      (Printf.sprintf "compiled: %d stencil(s), sequential"
+         (List.length plans))
+    run

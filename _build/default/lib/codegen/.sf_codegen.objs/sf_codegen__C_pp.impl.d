@@ -1,0 +1,1 @@
+lib/codegen/c_pp.ml: C_ast List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/cuda_emit.ml: Array C_ast C_pp Config Domain Group Ivec List Lower Printf Sf_backends Sf_util Snowflake Stencil String

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Affine Array C_ast Domain Expr Group Ivec List Printf Sf_util Snowflake Stencil String

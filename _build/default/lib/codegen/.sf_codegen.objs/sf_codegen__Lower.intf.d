@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Affine C_ast Domain Expr Group Ivec Sf_util Snowflake Stencil

@@ -1,0 +1,1 @@
+lib/codegen/omp_emit.ml: Array C_ast C_pp Config Group Ivec List Lower Openmp_backend Printf Sf_backends Sf_util Snowflake Stencil String

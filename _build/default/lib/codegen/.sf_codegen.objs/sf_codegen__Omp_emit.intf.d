@@ -1,0 +1,1 @@
+lib/codegen/omp_emit.mli: Group Ivec Sf_backends Sf_util Snowflake

@@ -1,0 +1,1 @@
+lib/codegen/seq_emit.ml: Array C_ast C_pp Domain Group Ivec List Lower Printf Sf_util Snowflake Stencil String

@@ -1,0 +1,1 @@
+lib/codegen/seq_emit.mli: Group Ivec Sf_util Snowflake

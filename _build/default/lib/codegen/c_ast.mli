@@ -1,0 +1,45 @@
+(** A miniature C abstract syntax, sufficient for stencil loop nests.
+
+    The micro-compilers build this AST and {!C_pp} renders it; keeping a real
+    AST (rather than string pasting) is what lets tests assert on structure —
+    loop bounds, pragma placement, index arithmetic — and keeps the two
+    emitters (OpenMP and OpenCL) sharing their lowering. *)
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr  (** [arr[e]] *)
+  | Bin of string * expr * expr  (** infix operator by symbol *)
+  | Un of string * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * string * expr option  (** ctype, name, initialiser *)
+  | Assign of expr * expr
+  | For of { var : string; from_ : expr; below : expr; step : expr; body : stmt list }
+      (** [for (long var = from_; var < below; var += step)] *)
+  | If of expr * stmt list
+  | Pragma of string
+  | Expr_stmt of expr
+  | Comment of string
+  | Block of stmt list
+
+type param = { ctype : string; name : string }
+
+type func = {
+  qualifier : string;  (** e.g. "" or "__kernel" *)
+  ret : string;
+  fname : string;
+  params : param list;
+  body : stmt list;
+}
+
+val add : expr -> expr -> expr
+(** Constant-folding sum: drops zero terms, folds [Int]s. *)
+
+val mul : expr -> expr -> expr
+(** Constant-folding product: collapses with 0 and 1. *)
+
+val sum : expr list -> expr
+(** [sum []] is [Int 0]. *)

@@ -1,0 +1,12 @@
+(** Rendering of the miniature C AST to source text. *)
+
+val expr_to_string : C_ast.expr -> string
+
+val stmt_to_string : ?indent:int -> C_ast.stmt -> string
+
+val func_to_string : C_ast.func -> string
+
+val file_to_string :
+  ?includes:string list -> ?prelude:string list -> C_ast.func list -> string
+(** A complete translation unit: [#include]s, raw prelude lines, then the
+    functions in order. *)

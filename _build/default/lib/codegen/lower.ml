@@ -1,0 +1,97 @@
+open Sf_util
+open Snowflake
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let loop_var i = Printf.sprintf "i%d" i
+
+let flat_index ~strides (m : Affine.t) point =
+  let n = Ivec.dims strides in
+  let terms =
+    List.init n (fun i ->
+        let coord =
+          C_ast.add
+            (C_ast.mul (C_ast.Int m.Affine.scale.(i)) point.(i))
+            (C_ast.Int m.Affine.offset.(i))
+        in
+        C_ast.mul (C_ast.Int strides.(i)) coord)
+  in
+  C_ast.sum terms
+
+let rec expr_to_c ~grid_strides ~point = function
+  | Expr.Const c -> C_ast.Float c
+  | Expr.Param p -> C_ast.Var (sanitize p)
+  | Expr.Read (g, m) ->
+      C_ast.Index (sanitize g, flat_index ~strides:(grid_strides g) m point)
+  | Expr.Neg a -> C_ast.Un ("-", expr_to_c ~grid_strides ~point a)
+  | Expr.Add (a, b) ->
+      C_ast.Bin
+        ("+", expr_to_c ~grid_strides ~point a, expr_to_c ~grid_strides ~point b)
+  | Expr.Sub (a, b) ->
+      C_ast.Bin
+        ("-", expr_to_c ~grid_strides ~point a, expr_to_c ~grid_strides ~point b)
+  | Expr.Mul (a, b) ->
+      C_ast.Bin
+        ("*", expr_to_c ~grid_strides ~point a, expr_to_c ~grid_strides ~point b)
+  | Expr.Div (a, b) ->
+      C_ast.Bin
+        ("/", expr_to_c ~grid_strides ~point a, expr_to_c ~grid_strides ~point b)
+
+let rect_loops ~grid_strides (s : Stencil.t) (rect : Domain.resolved) =
+  let n = Ivec.dims rect.Domain.rlo in
+  let point = Array.init n (fun i -> C_ast.Var (loop_var i)) in
+  let body =
+    [
+      C_ast.Assign
+        ( C_ast.Index
+            ( sanitize s.Stencil.output,
+              flat_index
+                ~strides:(grid_strides s.Stencil.output)
+                s.Stencil.out_map point ),
+          expr_to_c ~grid_strides ~point s.Stencil.expr );
+    ]
+  in
+  let rec nest i inner =
+    if i < 0 then inner
+    else
+      nest (i - 1)
+        [
+          C_ast.For
+            {
+              var = loop_var i;
+              from_ = C_ast.Int rect.Domain.rlo.(i);
+              below = C_ast.Int rect.Domain.rhi.(i);
+              step = C_ast.Int rect.Domain.rstride.(i);
+              body = inner;
+            };
+        ]
+  in
+  nest (n - 1) body
+
+let grid_param_names group = List.map sanitize (Group.grids group)
+let scalar_param_names group = List.map sanitize (Group.params group)
+
+let func_params group ~output_grids =
+  let outputs = List.map sanitize output_grids in
+  let grids =
+    List.map
+      (fun g ->
+        let ctype =
+          if List.mem g outputs then "double * restrict"
+          else "const double * restrict"
+        in
+        C_ast.{ ctype; name = g })
+      (grid_param_names group)
+  in
+  let scalars =
+    List.map
+      (fun p -> C_ast.{ ctype = "const double"; name = p })
+      (scalar_param_names group)
+  in
+  grids @ scalars

@@ -1,0 +1,41 @@
+(** Lowering stencils to C loop nests — shared by both source emitters.
+
+    Lowering is done against concrete grid shapes (the JIT situation in the
+    paper: shapes are known when [compile] runs), so strides appear as
+    integer literals and the affine index arithmetic constant-folds. *)
+
+open Sf_util
+open Snowflake
+
+val sanitize : string -> string
+(** Grid/parameter name → valid C identifier. *)
+
+val loop_var : int -> string
+(** ["i0"], ["i1"], ... *)
+
+val flat_index :
+  strides:Ivec.t -> Affine.t -> C_ast.expr array -> C_ast.expr
+(** Flat offset of [map(point)] in a row-major array with the given strides,
+    where [point] is given per-axis as C expressions. *)
+
+val expr_to_c :
+  grid_strides:(string -> Ivec.t) -> point:C_ast.expr array -> Expr.t ->
+  C_ast.expr
+(** The stencil expression at a symbolic point; [Param p] becomes
+    [Var (sanitize p)]. *)
+
+val rect_loops :
+  grid_strides:(string -> Ivec.t) ->
+  Stencil.t ->
+  Domain.resolved ->
+  C_ast.stmt list
+(** The full loop nest executing one resolved rect of the stencil. *)
+
+val grid_param_names : Group.t -> string list
+(** Sanitised grid names in sorted order (the pointer arguments). *)
+
+val scalar_param_names : Group.t -> string list
+
+val func_params : Group.t -> output_grids:string list -> C_ast.param list
+(** [double * restrict] for written grids, [const double * restrict] for
+    read-only ones, then [const double] scalars. *)

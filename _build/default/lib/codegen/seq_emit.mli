@@ -1,0 +1,11 @@
+(** Plain sequential C99 emission — the paper's "sequential C"
+    micro-compiler.  Stencils run in program order, rects in union order;
+    no pragmas, no tiling: the reference translation a user can read
+    top-to-bottom and the baseline the parallel emitters are diffed
+    against in tests. *)
+
+open Sf_util
+open Snowflake
+
+val emit :
+  shape:Ivec.t -> grid_shapes:(string -> Ivec.t) -> Group.t -> string

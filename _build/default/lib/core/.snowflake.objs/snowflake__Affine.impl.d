@@ -1,0 +1,1 @@
+lib/core/affine.ml: Array Format Hashc Ivec Sf_util

@@ -1,0 +1,1 @@
+lib/core/component.ml: Expr Ivec List Sf_util Weights

@@ -1,0 +1,1 @@
+lib/core/domain.ml: Array Format Hashc Ivec List Printf Sf_util

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: Array Domain Expr Fun Ivec List Printf Sf_util Stencil Weights

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Affine Float Format Hashc Ivec List Set Sf_util String

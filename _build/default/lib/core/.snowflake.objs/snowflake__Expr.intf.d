@@ -1,0 +1,1 @@
+lib/core/expr.mli: Affine Format Ivec Sf_util

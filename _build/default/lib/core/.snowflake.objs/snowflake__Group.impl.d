@@ -1,0 +1,1 @@
+lib/core/group.ml: Expr Format Hashc List Printf Sf_util Stencil String

@@ -1,0 +1,1 @@
+lib/core/program_io.ml: Affine Array Domain Expr Format Group Ivec List Result Sexp Sf_util Stencil

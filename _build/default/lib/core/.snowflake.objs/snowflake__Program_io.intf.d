@@ -1,0 +1,1 @@
+lib/core/program_io.mli: Domain Expr Group Sexp Stencil

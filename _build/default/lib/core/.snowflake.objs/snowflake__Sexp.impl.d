@@ -1,0 +1,1 @@
+lib/core/sexp.ml: Format List Printf String

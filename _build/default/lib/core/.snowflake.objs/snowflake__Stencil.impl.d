@@ -1,0 +1,1 @@
+lib/core/stencil.ml: Affine Array Domain Expr Format Hashc Ivec List Printf Sf_util String

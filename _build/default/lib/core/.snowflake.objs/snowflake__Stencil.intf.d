@@ -1,0 +1,1 @@
+lib/core/stencil.mli: Affine Domain Expr Format

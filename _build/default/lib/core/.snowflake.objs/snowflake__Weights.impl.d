@@ -1,0 +1,1 @@
+lib/core/weights.ml: Array Expr Format Hashc Ivec List Map Sf_util

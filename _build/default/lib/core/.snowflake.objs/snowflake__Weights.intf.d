@@ -1,0 +1,1 @@
+lib/core/weights.mli: Expr Format Ivec Sf_util

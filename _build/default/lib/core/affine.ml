@@ -1,0 +1,25 @@
+open Sf_util
+
+type t = { scale : Ivec.t; offset : Ivec.t }
+
+let make ~scale ~offset =
+  if Ivec.dims scale <> Ivec.dims offset then
+    invalid_arg "Affine.make: rank mismatch";
+  Array.iter
+    (fun s -> if s < 0 then invalid_arg "Affine.make: negative scale")
+    scale;
+  { scale = Array.copy scale; offset = Array.copy offset }
+
+let identity n = { scale = Ivec.make n 1; offset = Ivec.zero n }
+let of_offset offset = { scale = Ivec.make (Ivec.dims offset) 1; offset }
+let apply a x = Ivec.add (Ivec.mul a.scale x) a.offset
+let shift a o = { a with offset = Ivec.add a.offset (Ivec.mul a.scale o) }
+let is_unit_scale a = Array.for_all (fun s -> s = 1) a.scale
+let is_identity a = is_unit_scale a && Ivec.is_zero a.offset
+let dims a = Ivec.dims a.scale
+let equal a b = Ivec.equal a.scale b.scale && Ivec.equal a.offset b.offset
+let hash a = Hashc.combine (Ivec.hash a.scale) (Ivec.hash a.offset)
+
+let pp ppf a =
+  if is_unit_scale a then Format.fprintf ppf "%a" Ivec.pp a.offset
+  else Format.fprintf ppf "%a*x+%a" Ivec.pp a.scale Ivec.pp a.offset

@@ -1,0 +1,34 @@
+(** Per-axis affine index maps [x ↦ scale ⊙ x + offset].
+
+    Snowflake's analysis is built on affine Diophantine indexing precisely so
+    that multigrid restriction and interpolation — which index one grid at a
+    constant multiple of the iteration point of another — are expressible
+    (paper §III.A, §VI's contrast with SDSL's additive-only offsets).  A
+    unit-scale map is an ordinary stencil offset. *)
+
+open Sf_util
+
+type t = { scale : Ivec.t; offset : Ivec.t }
+
+val make : scale:Ivec.t -> offset:Ivec.t -> t
+(** Raises [Invalid_argument] on rank mismatch or negative scale entries
+    (zero is allowed and means "broadcast along this axis"). *)
+
+val identity : int -> t
+val of_offset : Ivec.t -> t
+(** Unit scale. *)
+
+val apply : t -> Ivec.t -> Ivec.t
+(** [apply a x = a.scale ⊙ x + a.offset]. *)
+
+val shift : t -> Ivec.t -> t
+(** [shift a o] is the map [x ↦ a(x + o)], i.e. the offset grows by
+    [scale ⊙ o].  This composes a stencil-entry offset into a nested weight
+    expression. *)
+
+val is_identity : t -> bool
+val is_unit_scale : t -> bool
+val dims : t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

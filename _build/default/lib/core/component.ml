@@ -1,0 +1,16 @@
+open Sf_util
+
+let term grid (offset, weight) =
+  let gather = Expr.read grid offset in
+  match Expr.simplify weight with
+  | Expr.Const 1. -> gather
+  | Expr.Const (-1.) -> Expr.neg gather
+  | w -> Expr.(shift offset w *: gather)
+
+let to_expr ~grid weights =
+  Weights.entries weights |> List.map (term grid) |> Expr.sum |> Expr.simplify
+
+(* Most of this codebase is 2-D or 3-D; a bare [point] defaults to 3-D,
+   matching the HPGMG driver.  Use [point_n] when that is wrong. *)
+let point_n n grid = Expr.read grid (Ivec.zero n)
+let point grid = point_n 3 grid

@@ -1,0 +1,19 @@
+(** Components: a weight array applied to a named grid (paper Table I).
+
+    [to_expr ~grid w] denotes, at point [x], the gather
+    [Σ_o shift_o(w_o) · grid(x + o)] over the support of [w].  Shifting the
+    weight expression by the entry's own offset is what makes nested
+    components express variable-coefficient operators: the coefficient is
+    read at the neighbour the term belongs to. *)
+
+val to_expr : grid:string -> Weights.t -> Expr.t
+
+val point : string -> Expr.t
+(** [point g] reads grid [g] at the stencil centre —
+    [Component(g, WeightArray([[1]]))] in the paper's notation, in any
+    dimension (the offset rank is fixed on first use via {!Expr.dims}; here
+    we default to reading with a rank inferred from context).  For explicit
+    rank use [point_n]. *)
+
+val point_n : int -> string -> Expr.t
+(** [point_n n g] reads grid [g] at offset zero in [n] dimensions. *)

@@ -1,0 +1,186 @@
+open Sf_util
+
+type rect = { lo : Ivec.t; hi : Ivec.t; stride : Ivec.t }
+type t = rect list
+
+let rect ?stride ~lo ~hi () =
+  let lo = Ivec.of_list lo and hi = Ivec.of_list hi in
+  let n = Ivec.dims lo in
+  if Ivec.dims hi <> n then invalid_arg "Domain.rect: lo/hi rank mismatch";
+  let stride =
+    match stride with
+    | None -> Ivec.make n 1
+    | Some s ->
+        let s = Ivec.of_list s in
+        if Ivec.dims s <> n then
+          invalid_arg "Domain.rect: stride rank mismatch";
+        Array.iter
+          (fun x ->
+            if x <= 0 then invalid_arg "Domain.rect: non-positive stride")
+          s;
+        s
+  in
+  { lo; hi; stride }
+
+let of_rect r = [ r ]
+let union a b = a @ b
+let ( ++ ) = union
+
+let interior n ~ghost =
+  if ghost < 0 then invalid_arg "Domain.interior: negative ghost";
+  [
+    rect
+      ~lo:(List.init n (fun _ -> ghost))
+      ~hi:(List.init n (fun _ -> -ghost))
+      ();
+  ]
+
+(* A colour class {x : Σx_i ≡ colour (mod c)} over the interior is not one
+   strided rect, so we enumerate the residues of the first n-1 axes and fix
+   the last axis residue to make the sum come out right: c^(n-1) rects with
+   stride c on every axis.  For red-black in 2-D this is exactly the paper's
+   two-rect union (Fig. 4, lines 11-12). *)
+let colored n ~ghost ~color ~ncolors =
+  if ncolors <= 0 then invalid_arg "Domain.colored: ncolors must be positive";
+  if color < 0 || color >= ncolors then
+    invalid_arg "Domain.colored: color out of range";
+  if n <= 0 then invalid_arg "Domain.colored: dimension must be positive";
+  let smallest_ge_ghost residue =
+    (* least x >= ghost with x ≡ residue (mod ncolors) *)
+    ghost + (((residue - ghost) mod ncolors + ncolors) mod ncolors)
+  in
+  let rec enumerate residues_rev remaining acc =
+    if remaining = 0 then begin
+      let outer = List.rev residues_rev in
+      let sum_outer = List.fold_left ( + ) 0 outer in
+      let last = ((color - sum_outer) mod ncolors + ncolors) mod ncolors in
+      let residues = outer @ [ last ] in
+      let lo = List.map smallest_ge_ghost residues in
+      let hi = List.init n (fun _ -> -ghost) in
+      let stride = List.init n (fun _ -> ncolors) in
+      rect ~stride ~lo ~hi () :: acc
+    end
+    else
+      let rec loop r acc =
+        if r >= ncolors then acc
+        else loop (r + 1) (enumerate (r :: residues_rev) (remaining - 1) acc)
+      in
+      loop 0 acc
+  in
+  List.rev (enumerate [] (n - 1) [])
+
+let translate o d =
+  List.map
+    (fun r -> { r with lo = Ivec.add r.lo o; hi = Ivec.add r.hi o })
+    d
+
+let dims = function
+  | [] -> None
+  | r :: rest ->
+      let n = Ivec.dims r.lo in
+      List.iter
+        (fun r' ->
+          if Ivec.dims r'.lo <> n then
+            invalid_arg "Domain.dims: mixed-rank union")
+        rest;
+      Some n
+
+let rect_equal a b =
+  Ivec.equal a.lo b.lo && Ivec.equal a.hi b.hi && Ivec.equal a.stride b.stride
+
+let equal a b = List.length a = List.length b && List.for_all2 rect_equal a b
+
+let rect_hash r =
+  Hashc.combine3 (Ivec.hash r.lo) (Ivec.hash r.hi) (Ivec.hash r.stride)
+
+let hash d = Hashc.list rect_hash d
+
+let pp_rect ppf r =
+  Format.fprintf ppf "[%a..%a by %a]" Ivec.pp r.lo Ivec.pp r.hi Ivec.pp
+    r.stride
+
+let pp ppf = function
+  | [] -> Format.fprintf ppf "(empty domain)"
+  | rs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ++ ")
+        pp_rect ppf rs
+
+type resolved = { rlo : Ivec.t; rhi : Ivec.t; rstride : Ivec.t }
+
+let resolve_rect ~shape r =
+  let n = Ivec.dims r.lo in
+  if Ivec.dims shape <> n then
+    invalid_arg "Domain.resolve_rect: shape rank mismatch";
+  let fix_lo i v = if v >= 0 then v else shape.(i) + v in
+  let fix_hi i v = if v > 0 then v else shape.(i) + v in
+  let rlo = Array.mapi fix_lo r.lo in
+  let rhi = Array.mapi fix_hi r.hi in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v > shape.(i) then
+        invalid_arg
+          (Printf.sprintf "Domain.resolve_rect: lower bound %d escapes axis %d"
+             v i))
+    rlo;
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v > shape.(i) then
+        invalid_arg
+          (Printf.sprintf "Domain.resolve_rect: upper bound %d escapes axis %d"
+             v i))
+    rhi;
+  { rlo; rhi; rstride = Array.copy r.stride }
+
+let resolve ~shape d = List.map (resolve_rect ~shape) d
+
+let counts { rlo; rhi; rstride } =
+  Array.init (Ivec.dims rlo) (fun i ->
+      let extent = rhi.(i) - rlo.(i) in
+      if extent <= 0 then 0 else (extent + rstride.(i) - 1) / rstride.(i))
+
+let npoints r = Ivec.product (counts r)
+let is_empty r = npoints r = 0
+
+let mem r p =
+  Ivec.dims p = Ivec.dims r.rlo
+  &&
+  let rec ok i =
+    i >= Ivec.dims p
+    || p.(i) >= r.rlo.(i)
+       && p.(i) < r.rhi.(i)
+       && (p.(i) - r.rlo.(i)) mod r.rstride.(i) = 0
+       && ok (i + 1)
+  in
+  ok 0
+
+let iter r f =
+  let cnt = counts r in
+  let n = Ivec.dims cnt in
+  let total = Ivec.product cnt in
+  if total > 0 then begin
+    let p = Array.copy r.rlo in
+    let k = Array.make n 0 in
+    for _ = 1 to total do
+      f p;
+      let rec bump i =
+        if i >= 0 then begin
+          k.(i) <- k.(i) + 1;
+          if k.(i) >= cnt.(i) then begin
+            k.(i) <- 0;
+            p.(i) <- r.rlo.(i);
+            bump (i - 1)
+          end
+          else p.(i) <- p.(i) + r.rstride.(i)
+        end
+      in
+      bump (n - 1)
+    done
+  end
+
+let to_list r =
+  let acc = ref [] in
+  iter r (fun p -> acc := Array.copy p :: !acc);
+  List.rev !acc
+
+let npoints_union rs = List.fold_left (fun acc r -> acc + npoints r) 0 rs

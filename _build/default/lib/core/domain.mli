@@ -1,0 +1,78 @@
+(** Iteration domains: strided hyper-rectangles and their unions.
+
+    A {!rect} is the paper's [RectDomain]: per-dimension start, end and
+    stride.  Start/end entries may be negative, in which case they are
+    resolved relative to the grid shape at execution time ([-k] means
+    [extent - k]); the end is exclusive.  A {!t} is a [DomainUnion] — any
+    finite union of rects, in order.  Boundaries, red/black colourings and
+    AMR patch unions are all built from these. *)
+
+open Sf_util
+
+type rect = private { lo : Ivec.t; hi : Ivec.t; stride : Ivec.t }
+
+type t = rect list
+(** A union of rects.  The empty list is the empty domain. *)
+
+val rect : ?stride:int list -> lo:int list -> hi:int list -> unit -> rect
+(** Stride defaults to all-ones.  Raises [Invalid_argument] on rank mismatch
+    or non-positive stride. *)
+
+val of_rect : rect -> t
+val union : t -> t -> t
+
+val ( ++ ) : t -> t -> t
+(** Alias for {!union}, mirroring the paper's [+] on domains. *)
+
+val interior : int -> ghost:int -> t
+(** [interior n ~ghost] is the unit-stride domain covering every point at
+    least [ghost] away from each face, in [n] dimensions. *)
+
+val colored : int -> ghost:int -> color:int -> ncolors:int -> t
+(** [colored n ~ghost ~color ~ncolors] is the sub-lattice of the interior
+    whose coordinate sum is congruent to [color] modulo [ncolors], built as a
+    union of stride-[ncolors] rects along the innermost axis — the paper's
+    red-black ([ncolors = 2]) and 4-colour patterns.  [color] must lie in
+    [0, ncolors). *)
+
+val translate : Ivec.t -> t -> t
+(** Shift every rect; only meaningful for rects with non-negative bounds. *)
+
+val dims : t -> int option
+(** Rank of the union, or [None] when empty; raises [Invalid_argument] if
+    member rects disagree. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {2 Resolved domains}
+
+    Resolution pins the relative bounds of a rect against a concrete grid
+    shape, yielding an iterable integer lattice. *)
+
+type resolved = { rlo : Ivec.t; rhi : Ivec.t; rstride : Ivec.t }
+(** Concrete bounds; [rhi] exclusive; lattice points are
+    [rlo + k * rstride] componentwise with [0 <= k] and point < [rhi]. *)
+
+val resolve_rect : shape:Ivec.t -> rect -> resolved
+(** Raises [Invalid_argument] if the resolved bounds fall outside
+    [[0, shape)] on any axis (a domain escaping the grid is a bug in the
+    stencil program, caught here rather than at kernel runtime). *)
+
+val resolve : shape:Ivec.t -> t -> resolved list
+
+val counts : resolved -> Ivec.t
+(** Number of lattice points along each axis (0 when empty). *)
+
+val npoints : resolved -> int
+val is_empty : resolved -> bool
+val mem : resolved -> Ivec.t -> bool
+val iter : resolved -> (Ivec.t -> unit) -> unit
+(** Row-major iteration; the visited vector is reused between calls (copy it
+    if you retain it). *)
+
+val to_list : resolved -> Ivec.t list
+val npoints_union : resolved list -> int
+(** Sum of {!npoints} — correct when member rects are disjoint, which
+    Snowflake's analysis verifies separately. *)

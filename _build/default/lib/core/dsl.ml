@@ -1,0 +1,105 @@
+open Sf_util
+
+let offsets_within ~dims ~radius =
+  let r = List.init ((2 * radius) + 1) (fun i -> i - radius) in
+  let rec go = function
+    | 0 -> [ [] ]
+    | d -> List.concat_map (fun rest -> List.map (fun v -> v :: rest) r) (go (d - 1))
+  in
+  List.map Ivec.of_list (go dims)
+
+let star_weights ~dims ~center ~arm =
+  let taps =
+    (List.init dims (fun _ -> 0), Expr.const center)
+    :: List.concat_map
+         (fun a ->
+           List.map
+             (fun v ->
+               (List.init dims (fun i -> if i = a then v else 0), Expr.const arm))
+             [ -1; 1 ])
+         (List.init dims Fun.id)
+  in
+  Weights.of_alist taps
+
+let laplacian_weights ~dims =
+  star_weights ~dims ~center:(float_of_int (-2 * dims)) ~arm:1.
+
+let box_weights ~dims ~radius ~weight =
+  Weights.of_alist
+    (List.map
+       (fun o -> (Ivec.to_list o, Expr.const weight))
+       (offsets_within ~dims ~radius))
+
+let box_blur_weights ~dims ~radius =
+  let count = ref 1 in
+  for _ = 1 to dims do
+    count := !count * ((2 * radius) + 1)
+  done;
+  box_weights ~dims ~radius ~weight:(1. /. float_of_int !count)
+
+let off dims a v =
+  let o = Ivec.zero dims in
+  o.(a) <- v;
+  o
+
+(* one face plane of the ghost ring, interior extent on the other axes *)
+let face_domain dims axis side =
+  let lo = Array.make dims 1 and hi = Array.make dims (-1) in
+  (match side with
+  | `Low ->
+      lo.(axis) <- 0;
+      hi.(axis) <- 1
+  | `High ->
+      lo.(axis) <- -1;
+      hi.(axis) <- 0);
+  Domain.of_rect (Domain.rect ~lo:(Ivec.to_list lo) ~hi:(Ivec.to_list hi) ())
+
+let faces ~dims ~grid ~kind ~expr_of =
+  List.concat_map
+    (fun axis ->
+      List.map
+        (fun side ->
+          let side_name = match side with `Low -> "lo" | `High -> "hi" in
+          Stencil.make
+            ~label:(Printf.sprintf "%s_%s_%d_%s" kind grid axis side_name)
+            ~output:grid
+            ~expr:(expr_of axis side)
+            ~domain:(face_domain dims axis side)
+            ())
+        [ `Low; `High ])
+    (List.init dims Fun.id)
+
+let dirichlet_faces ~dims ~grid =
+  faces ~dims ~grid ~kind:"bc" ~expr_of:(fun axis side ->
+      let v = match side with `Low -> 1 | `High -> -1 in
+      Expr.neg (Expr.read grid (off dims axis v)))
+
+let neumann_faces ~dims ~grid =
+  faces ~dims ~grid ~kind:"neumann" ~expr_of:(fun axis side ->
+      let v = match side with `Low -> 1 | `High -> -1 in
+      Expr.read grid (off dims axis v))
+
+let periodic_faces ~dims ~interior ~grid =
+  faces ~dims ~grid ~kind:"periodic" ~expr_of:(fun axis side ->
+      (* low ghost (index 0) mirrors the high interior plane (index n):
+         offset +n; high ghost (n+1) mirrors index 1: offset -n *)
+      let v = match side with `Low -> interior | `High -> -interior in
+      Expr.read grid (off dims axis v))
+
+let copy ~dims ?(ghost = 1) ~out ~input () =
+  Stencil.make
+    ~label:(Printf.sprintf "copy_%s_to_%s" input out)
+    ~output:out
+    ~expr:(Expr.read input (Ivec.zero dims))
+    ~domain:(Domain.interior dims ~ghost)
+    ()
+
+let scale ~dims ?(ghost = 1) ~out ~input ~factor () =
+  Stencil.make
+    ~label:(Printf.sprintf "scale_%s_to_%s" input out)
+    ~output:out
+    ~expr:
+      (let z = Ivec.zero dims in
+       Expr.(const factor *: read input z))
+    ~domain:(Domain.interior dims ~ghost)
+    ()

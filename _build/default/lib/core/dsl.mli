@@ -1,0 +1,57 @@
+(** Convenience constructors for common stencil shapes and boundary
+    families.
+
+    Nothing here adds expressive power — everything is sugar over
+    {!Weights}, {!Expr}, {!Domain} and {!Stencil} — but these are the
+    shapes every structured-grid code reaches for, and the boundary
+    families show the paper's claim that boundary conditions are ordinary
+    stencils: Dirichlet and Neumann are small-offset copies, periodic
+    wrap-around is a copy with an offset the size of the grid ("stencils
+    with (sometimes) large offsets", §II.A). *)
+
+open Sf_util
+
+(** {2 Weight arrays} *)
+
+val star_weights : dims:int -> center:float -> arm:float -> Weights.t
+(** The (2·dims+1)-point star: [center] at the origin, [arm] on each
+    axis-aligned neighbour. *)
+
+val laplacian_weights : dims:int -> Weights.t
+(** [star_weights ~center:(-2·dims) ~arm:1]. *)
+
+val box_weights : dims:int -> radius:int -> weight:float -> Weights.t
+(** Every offset with L∞ norm ≤ radius carries [weight] —
+    [(2·radius+1)^dims] taps. *)
+
+val box_blur_weights : dims:int -> radius:int -> Weights.t
+(** {!box_weights} normalised to sum 1. *)
+
+(** {2 Boundary families}
+
+    All operate on the one-cell ghost ring of [grid]; faces only (the
+    7-point-family operators never read ghost edges/corners). *)
+
+val dirichlet_faces : dims:int -> grid:string -> Stencil.t list
+(** ghost ← −(first interior): homogeneous Dirichlet at the face. *)
+
+val neumann_faces : dims:int -> grid:string -> Stencil.t list
+(** ghost ← first interior: zero normal derivative (insulated). *)
+
+val periodic_faces : dims:int -> interior:int -> grid:string -> Stencil.t list
+(** ghost ← the opposite side's interior plane: wrap-around, implemented
+    as copies with offsets of ±[interior] cells.  [interior] is the
+    interior extent per axis (cubic grids). *)
+
+(** {2 Point stencils} *)
+
+val copy : dims:int -> ?ghost:int -> out:string -> input:string -> unit ->
+  Stencil.t
+(** Interior copy at matching points. *)
+
+val scale : dims:int -> ?ghost:int -> out:string -> input:string ->
+  factor:float -> unit -> Stencil.t
+
+val offsets_within : dims:int -> radius:int -> Ivec.t list
+(** All offsets with L∞ norm ≤ radius, row-major — handy for building
+    custom sparse arrays. *)

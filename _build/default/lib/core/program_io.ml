@@ -1,0 +1,209 @@
+open Sf_util
+
+let ( let* ) = Result.bind
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect f rest in
+      Ok (y :: ys)
+
+let ivec_to_sexps v = List.map Sexp.int (Ivec.to_list v)
+
+let ivec_of_sexps sexps =
+  let* ints = collect Sexp.as_int sexps in
+  match ints with
+  | [] -> Error "expected at least one integer"
+  | _ -> Ok (Ivec.of_list ints)
+
+let map_to_sexp (m : Affine.t) =
+  Sexp.list
+    [
+      Sexp.list (Sexp.atom "scale" :: ivec_to_sexps m.Affine.scale);
+      Sexp.list (Sexp.atom "offset" :: ivec_to_sexps m.Affine.offset);
+    ]
+
+let map_of_sexp = function
+  | Sexp.List
+      [
+        Sexp.List (Sexp.Atom "scale" :: scale);
+        Sexp.List (Sexp.Atom "offset" :: offset);
+      ] ->
+      let* scale = ivec_of_sexps scale in
+      let* offset = ivec_of_sexps offset in
+      if Ivec.dims scale <> Ivec.dims offset then
+        Error "map: scale and offset rank differ"
+      else Ok (Affine.make ~scale ~offset)
+  | s -> Error ("malformed affine map: " ^ Sexp.to_string s)
+
+(* ---------------------------------------------------------------- expr *)
+
+let rec expr_to_sexp = function
+  | Expr.Const c -> Sexp.list [ Sexp.atom "const"; Sexp.float c ]
+  | Expr.Param p -> Sexp.list [ Sexp.atom "param"; Sexp.atom p ]
+  | Expr.Read (g, m) ->
+      if Affine.is_unit_scale m then
+        Sexp.list
+          [
+            Sexp.atom "read";
+            Sexp.atom g;
+            Sexp.list (ivec_to_sexps m.Affine.offset);
+          ]
+      else Sexp.list [ Sexp.atom "read*"; Sexp.atom g; map_to_sexp m ]
+  | Expr.Neg e -> Sexp.list [ Sexp.atom "neg"; expr_to_sexp e ]
+  | Expr.Add (a, b) ->
+      Sexp.list [ Sexp.atom "+"; expr_to_sexp a; expr_to_sexp b ]
+  | Expr.Sub (a, b) ->
+      Sexp.list [ Sexp.atom "-"; expr_to_sexp a; expr_to_sexp b ]
+  | Expr.Mul (a, b) ->
+      Sexp.list [ Sexp.atom "*"; expr_to_sexp a; expr_to_sexp b ]
+  | Expr.Div (a, b) ->
+      Sexp.list [ Sexp.atom "/"; expr_to_sexp a; expr_to_sexp b ]
+
+let rec expr_of_sexp sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "const" :: [ v ]) ->
+      let* c = Sexp.as_float v in
+      Ok (Expr.Const c)
+  | Sexp.List [ Sexp.Atom "param"; Sexp.Atom p ] -> Ok (Expr.Param p)
+  | Sexp.List [ Sexp.Atom "read"; Sexp.Atom g; Sexp.List offset ] ->
+      let* offset = ivec_of_sexps offset in
+      Ok (Expr.read g offset)
+  | Sexp.List [ Sexp.Atom "read*"; Sexp.Atom g; m ] ->
+      let* m = map_of_sexp m in
+      Ok (Expr.read_affine g m)
+  | Sexp.List [ Sexp.Atom "neg"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Expr.Neg e)
+  | Sexp.List (Sexp.Atom (("+" | "-" | "*" | "/") as op) :: (_ :: _ :: _ as args))
+    ->
+      let* args = collect expr_of_sexp args in
+      let combine a b =
+        match op with
+        | "+" -> Expr.Add (a, b)
+        | "-" -> Expr.Sub (a, b)
+        | "*" -> Expr.Mul (a, b)
+        | _ -> Expr.Div (a, b)
+      in
+      (match (op, args) with
+      | ("-" | "/"), [ a; b ] -> Ok (combine a b)
+      | ("-" | "/"), _ -> Error (op ^ " takes exactly two operands")
+      | _, a :: rest -> Ok (List.fold_left combine a rest)
+      | _, [] -> assert false)
+  | s -> Error ("malformed expression: " ^ Sexp.to_string s)
+
+(* -------------------------------------------------------------- domain *)
+
+let rect_to_sexp (r : Domain.rect) =
+  let base =
+    [
+      Sexp.atom "rect";
+      Sexp.list (Sexp.atom "lo" :: ivec_to_sexps r.Domain.lo);
+      Sexp.list (Sexp.atom "hi" :: ivec_to_sexps r.Domain.hi);
+    ]
+  in
+  let stride =
+    if Array.for_all (fun s -> s = 1) r.Domain.stride then []
+    else [ Sexp.list (Sexp.atom "stride" :: ivec_to_sexps r.Domain.stride) ]
+  in
+  Sexp.list (base @ stride)
+
+let rect_of_sexp = function
+  | Sexp.List
+      (Sexp.Atom "rect"
+      :: Sexp.List (Sexp.Atom "lo" :: lo)
+      :: Sexp.List (Sexp.Atom "hi" :: hi)
+      :: rest) ->
+      let* lo = ivec_of_sexps lo in
+      let* hi = ivec_of_sexps hi in
+      let* stride =
+        match rest with
+        | [] -> Ok None
+        | [ Sexp.List (Sexp.Atom "stride" :: stride) ] ->
+            let* s = ivec_of_sexps stride in
+            Ok (Some (Ivec.to_list s))
+        | _ -> Error "rect: unexpected trailing fields"
+      in
+      (try
+         Ok
+           (Domain.rect ?stride ~lo:(Ivec.to_list lo) ~hi:(Ivec.to_list hi) ())
+       with Invalid_argument msg -> Error msg)
+  | s -> Error ("malformed rect: " ^ Sexp.to_string s)
+
+let domain_to_sexp d = List.map rect_to_sexp d
+let domain_of_sexps sexps = collect rect_of_sexp sexps
+
+(* ------------------------------------------------------------- stencil *)
+
+let stencil_to_sexp (s : Stencil.t) =
+  let fields =
+    [ Sexp.list [ Sexp.atom "output"; Sexp.atom s.Stencil.output ] ]
+    @ (if Affine.is_identity s.Stencil.out_map then []
+       else [ Sexp.list [ Sexp.atom "out-map"; map_to_sexp s.Stencil.out_map ] ])
+    @ [
+        Sexp.list (Sexp.atom "domain" :: domain_to_sexp s.Stencil.domain);
+        Sexp.list [ Sexp.atom "expr"; expr_to_sexp s.Stencil.expr ];
+      ]
+  in
+  Sexp.list (Sexp.atom "stencil" :: Sexp.atom s.Stencil.label :: fields)
+
+let stencil_of_sexp = function
+  | Sexp.List (Sexp.Atom "stencil" :: Sexp.Atom label :: fields) ->
+      let find name =
+        List.find_map
+          (function
+            | Sexp.List (Sexp.Atom a :: rest) when a = name -> Some rest
+            | _ -> None)
+          fields
+      in
+      let* output =
+        match find "output" with
+        | Some [ Sexp.Atom g ] -> Ok g
+        | _ -> Error (label ^ ": missing or malformed (output GRID)")
+      in
+      let* out_map =
+        match find "out-map" with
+        | None -> Ok None
+        | Some [ m ] ->
+            let* m = map_of_sexp m in
+            Ok (Some m)
+        | Some _ -> Error (label ^ ": malformed out-map")
+      in
+      let* domain =
+        match find "domain" with
+        | Some rects when rects <> [] -> domain_of_sexps rects
+        | _ -> Error (label ^ ": missing (domain rect...)")
+      in
+      let* expr =
+        match find "expr" with
+        | Some [ e ] -> expr_of_sexp e
+        | _ -> Error (label ^ ": missing (expr e)")
+      in
+      (try Ok (Stencil.make ~label ?out_map ~output ~expr ~domain ())
+       with Invalid_argument msg -> Error msg)
+  | s -> Error ("malformed stencil: " ^ Sexp.to_string s)
+
+(* --------------------------------------------------------------- group *)
+
+let group_to_sexp (g : Group.t) =
+  Sexp.list
+    (Sexp.atom "group"
+    :: Sexp.atom g.Group.label
+    :: List.map stencil_to_sexp (Group.stencils g))
+
+let group_of_sexp = function
+  | Sexp.List (Sexp.Atom "group" :: Sexp.Atom label :: stencils) ->
+      let* stencils = collect stencil_of_sexp stencils in
+      (match stencils with
+      | [] -> Error "group: no stencils"
+      | _ -> (
+          try Ok (Group.make ~label stencils)
+          with Invalid_argument msg -> Error msg))
+  | s -> Error ("malformed group: " ^ Sexp.to_string s)
+
+let group_to_string g = Format.asprintf "%a@." Sexp.pp (group_to_sexp g)
+
+let group_of_string text =
+  let* sexp = Sexp.parse text in
+  group_of_sexp sexp

@@ -1,0 +1,41 @@
+(** Textual (s-expression) form of stencil programs.
+
+    Gives a [Group] a stable, human-writable on-disk representation so
+    stencil programs can be artifacts — checked into repositories, passed
+    to the CLIs ([bin/codegen_dump.exe --file]), diffed in golden tests —
+    mirroring the paper's workflow split between the scientist who writes
+    the stencils and the tooling that compiles them (Fig. 5).
+
+    Grammar (see docs/LANGUAGE.md for the data model):
+
+    {v
+    group    ::= (group NAME stencil...)
+    stencil  ::= (stencil NAME (output GRID) [(out-map map)]
+                   (domain rect...) (expr e))
+    rect     ::= (rect (lo INT...) (hi INT...) [(stride INT...)])
+    map      ::= ((scale INT...) (offset INT...))
+    e        ::= (const NUM) | (param NAME)
+               | (read GRID (INT...))           ; unit-scale offset
+               | (read* GRID map)               ; affine read
+               | (neg e) | (OP e e...)   with OP one of + - "*" /
+    v}
+
+    [+] and multiplication accept two or more operands (folded left);
+    [-] and [/] exactly two. *)
+
+
+
+val expr_to_sexp : Expr.t -> Sexp.t
+val expr_of_sexp : Sexp.t -> (Expr.t, string) result
+val domain_to_sexp : Domain.t -> Sexp.t list
+val domain_of_sexps : Sexp.t list -> (Domain.t, string) result
+val stencil_to_sexp : Stencil.t -> Sexp.t
+val stencil_of_sexp : Sexp.t -> (Stencil.t, string) result
+val group_to_sexp : Group.t -> Sexp.t
+val group_of_sexp : Sexp.t -> (Group.t, string) result
+
+val group_to_string : Group.t -> string
+(** Indented rendering. *)
+
+val group_of_string : string -> (Group.t, string) result
+(** Parse + decode, with positioned error messages from the reader. *)

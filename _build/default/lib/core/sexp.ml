@@ -1,0 +1,118 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list xs = List xs
+let int i = Atom (string_of_int i)
+
+let float f =
+  (* shortest representation that round-trips *)
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then Atom s else Atom (Printf.sprintf "%.17g" f)
+
+let as_atom = function
+  | Atom a -> Ok a
+  | List _ -> Error "expected an atom, got a list"
+
+let as_int = function
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "expected an integer, got %S" a))
+  | List _ -> Error "expected an integer, got a list"
+
+let as_float = function
+  | Atom a -> (
+      match float_of_string_opt a with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "expected a number, got %S" a))
+  | List _ -> Error "expected a number, got a list"
+
+(* ------------------------------------------------------------- parser *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      skip_ws c
+  | Some ';' ->
+      while peek c <> None && peek c <> Some '\n' do
+        c.pos <- c.pos + 1
+      done;
+      skip_ws c
+  | _ -> ()
+
+let is_atom_char ch =
+  match ch with
+  | '(' | ')' | ' ' | '\t' | '\n' | '\r' | ';' -> false
+  | _ -> true
+
+exception Parse_error of string
+
+let rec parse_one c =
+  skip_ws c;
+  match peek c with
+  | None -> raise (Parse_error "unexpected end of input")
+  | Some '(' ->
+      c.pos <- c.pos + 1;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws c;
+        match peek c with
+        | Some ')' -> c.pos <- c.pos + 1
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+            items := parse_one c :: !items;
+            loop ()
+      in
+      loop ();
+      List (List.rev !items)
+  | Some ')' -> raise (Parse_error "unexpected ')'")
+  | Some _ ->
+      let start = c.pos in
+      while match peek c with Some ch -> is_atom_char ch | None -> false do
+        c.pos <- c.pos + 1
+      done;
+      Atom (String.sub c.text start (c.pos - start))
+
+let parse text =
+  let c = { text; pos = 0 } in
+  match parse_one c with
+  | sexp ->
+      skip_ws c;
+      if c.pos < String.length text then
+        Error
+          (Printf.sprintf "trailing input at offset %d" c.pos)
+      else Ok sexp
+  | exception Parse_error msg -> Error msg
+
+let parse_many text =
+  let c = { text; pos = 0 } in
+  let acc = ref [] in
+  let rec loop () =
+    skip_ws c;
+    if c.pos >= String.length text then Ok (List.rev !acc)
+    else
+      match parse_one c with
+      | sexp ->
+          acc := sexp :: !acc;
+          loop ()
+      | exception Parse_error msg -> Error msg
+  in
+  loop ()
+
+(* ------------------------------------------------------------ printer *)
+
+let rec to_string = function
+  | Atom a -> a
+  | List xs -> "(" ^ String.concat " " (List.map to_string xs) ^ ")"
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List xs ->
+      Format.fprintf ppf "@[<hov 1>(%a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        xs

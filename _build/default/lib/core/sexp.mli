@@ -1,0 +1,28 @@
+(** A minimal s-expression reader/writer (no external dependencies).
+
+    Used by {!Program_io} to give stencil programs a stable textual form.
+    Atoms are bare tokens (no quoting/escaping — grid names and numbers
+    only need [A-Za-z0-9_.@+-]). *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> (t, string) result
+(** Parses exactly one s-expression (surrounding whitespace and
+    [;]-to-end-of-line comments allowed). *)
+
+val parse_many : string -> (t list, string) result
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering via the format boxes. *)
+
+val atom : string -> t
+val list : t list -> t
+val int : int -> t
+val float : float -> t
+
+val as_atom : t -> (string, string) result
+val as_int : t -> (int, string) result
+val as_float : t -> (float, string) result

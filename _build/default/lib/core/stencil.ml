@@ -1,0 +1,90 @@
+open Sf_util
+
+type t = {
+  label : string;
+  output : string;
+  out_map : Affine.t;
+  expr : Expr.t;
+  domain : Domain.t;
+}
+
+let counter = ref 0
+
+let make ?label ?out_map ~output ~expr ~domain () =
+  let expr = Expr.simplify expr in
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        incr counter;
+        Printf.sprintf "stencil_%d" !counter
+  in
+  let rank =
+    match Domain.dims domain with
+    | None -> invalid_arg "Stencil.make: empty domain union"
+    | Some n -> n
+  in
+  (match Expr.dims expr with
+  | Some m when m <> rank ->
+      invalid_arg
+        (Printf.sprintf
+           "Stencil.make(%s): expression rank %d but domain rank %d" label m
+           rank)
+  | Some _ | None -> ());
+  let out_map =
+    match out_map with None -> Affine.identity rank | Some m -> m
+  in
+  if Affine.dims out_map <> rank then
+    invalid_arg
+      (Printf.sprintf "Stencil.make(%s): out_map rank mismatch" label);
+  Array.iter
+    (fun s ->
+      if s <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Stencil.make(%s): out_map scale must be strictly positive" label))
+    out_map.Affine.scale;
+  { label; output; out_map; expr; domain }
+
+let reads t = Expr.reads t.expr
+let grids_read t = Expr.grids t.expr
+let grids t = List.sort_uniq String.compare (t.output :: grids_read t)
+let is_in_place t = List.mem t.output (grids_read t)
+
+let dims t =
+  match Domain.dims t.domain with
+  | Some n -> n
+  | None -> assert false (* excluded by [make] *)
+
+let radius t =
+  List.fold_left
+    (fun acc (_, m) ->
+      if Affine.is_unit_scale m then max acc (Ivec.linf_norm m.Affine.offset)
+      else acc)
+    0 (reads t)
+
+let equal a b =
+  String.equal a.output b.output
+  && Affine.equal a.out_map b.out_map
+  && Expr.equal a.expr b.expr
+  && Domain.equal a.domain b.domain
+
+let hash t =
+  Hashc.combine
+    (Hashc.combine3 (Hashc.string t.output) (Expr.hash t.expr)
+       (Domain.hash t.domain))
+    (Affine.hash t.out_map)
+
+let pp ppf t =
+  if Affine.is_identity t.out_map then
+    Format.fprintf ppf "@[<hov 2>%s:@ %s <- %a@ over %a@]" t.label t.output
+      Expr.pp t.expr Domain.pp t.domain
+  else
+    Format.fprintf ppf "@[<hov 2>%s:@ %s[%a] <- %a@ over %a@]" t.label
+      t.output Affine.pp t.out_map Expr.pp t.expr Domain.pp t.domain
+
+let rename_output t output = { t with output }
+
+let rename_grids f t =
+  { t with output = f t.output; expr = Expr.rename_grids f t.expr }
+let relabel t label = { t with label }

@@ -1,0 +1,66 @@
+(** Stencil operators: an expression applied over a domain, writing a grid.
+
+    This is the paper's [Stencil] element: it associates a component
+    expression, an output grid (which may also be read — in-place stencils
+    such as GSRB are first-class), and a [RectDomain]/[DomainUnion].  The
+    write position is an affine image of the iteration point ([out_map],
+    identity by default); non-identity maps express interpolation, where the
+    iteration runs over the coarse index space but writes the fine grid.
+    Compilation to an executable kernel lives in [Sf_backends]; this module
+    is the pure description plus the structural queries used by the
+    analysis. *)
+
+type t = private {
+  label : string;  (** human-readable, used in logs, schedules, codegen *)
+  output : string;  (** name of the grid written *)
+  out_map : Affine.t;  (** iteration point ↦ output index *)
+  expr : Expr.t;
+  domain : Domain.t;
+}
+
+val make :
+  ?label:string ->
+  ?out_map:Affine.t ->
+  output:string ->
+  expr:Expr.t ->
+  domain:Domain.t ->
+  unit ->
+  t
+(** Validates rank agreement between the expression's reads, the [out_map]
+    and the domain; raises [Invalid_argument] on mismatch or an empty domain
+    union.  The expression is simplified.  [out_map] defaults to the
+    identity; its scale entries must be strictly positive (every iteration
+    point must write a distinct cell). *)
+
+val reads : t -> (string * Affine.t) list
+(** Deduplicated (grid, index map) reads of the expression. *)
+
+val grids_read : t -> string list
+
+val grids : t -> string list
+(** All grids touched, including the output. *)
+
+val is_in_place : t -> bool
+(** True when the output grid is also read. *)
+
+val dims : t -> int
+(** Rank of the iteration space. *)
+
+val radius : t -> int
+(** Max L∞ offset over unit-scale reads; the halo an ordinary stencil
+    needs.  Non-unit-scale reads are ignored (their reach depends on the
+    domain, not a fixed halo). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val rename_output : t -> string -> t
+(** Same stencil writing a different grid (used to make in-place stencils
+    out-of-place for oracle comparisons). *)
+
+val rename_grids : (string -> string) -> t -> t
+(** Apply a grid-name substitution to the output and every read — the
+    SPMD idiom: one stencil description instantiated per rank. *)
+
+val relabel : t -> string -> t

@@ -1,0 +1,115 @@
+open Sf_util
+
+type nested = W of float | E of Expr.t | A of nested list
+
+module OffsetMap = Map.Make (struct
+  type t = Ivec.t
+
+  let compare = Ivec.compare
+end)
+
+type t = { rank : int; entries : Expr.t OffsetMap.t }
+
+let is_zero_expr = function Expr.Const 0. -> true | _ -> false
+
+let normalize rank entries =
+  let entries =
+    OffsetMap.filter_map
+      (fun _ e ->
+        let e = Expr.simplify e in
+        if is_zero_expr e then None else Some e)
+      entries
+  in
+  { rank; entries }
+
+(* Shape inference for the nested syntax: every sibling list must have the
+   same shape, and leaves must all sit at the same depth. *)
+let rec nested_shape = function
+  | W _ | E _ -> []
+  | A [] -> invalid_arg "Weights.of_nested: empty nesting level"
+  | A (x :: xs) ->
+      let s = nested_shape x in
+      List.iter
+        (fun y ->
+          if nested_shape y <> s then
+            invalid_arg "Weights.of_nested: ragged weight array")
+        xs;
+      (1 + List.length xs) :: s
+
+let of_nested_center ~center nested =
+  let shape = nested_shape nested in
+  let rank = List.length shape in
+  if rank = 0 then
+    invalid_arg "Weights.of_nested: bare leaf (wrap it in at least one A [...])";
+  if Ivec.dims center <> rank then
+    invalid_arg "Weights.of_nested_center: center rank mismatch";
+  let entries = ref OffsetMap.empty in
+  let offset_of idx_rev =
+    Ivec.sub (Array.of_list (List.rev idx_rev)) center
+  in
+  let rec walk idx_rev = function
+    | W w -> entries := OffsetMap.add (offset_of idx_rev) (Expr.Const w) !entries
+    | E e -> entries := OffsetMap.add (offset_of idx_rev) e !entries
+    | A xs -> List.iteri (fun i x -> walk (i :: idx_rev) x) xs
+  in
+  walk [] nested;
+  normalize rank !entries
+
+let of_nested nested =
+  let shape = nested_shape nested in
+  let center = Array.of_list (List.map (fun e -> e / 2) shape) in
+  of_nested_center ~center nested
+
+let of_alist alist =
+  match alist with
+  | [] -> invalid_arg "Weights.of_alist: empty sparse array"
+  | (o0, _) :: _ ->
+      let rank = List.length o0 in
+      let entries =
+        List.fold_left
+          (fun acc (o, e) ->
+            if List.length o <> rank then
+              invalid_arg "Weights.of_alist: offsets of differing rank";
+            let o = Ivec.of_list o in
+            match OffsetMap.find_opt o acc with
+            | None -> OffsetMap.add o e acc
+            | Some prev -> OffsetMap.add o Expr.(prev +: e) acc)
+          OffsetMap.empty alist
+      in
+      normalize rank entries
+
+let scalar w n =
+  { rank = n; entries = OffsetMap.singleton (Ivec.zero n) (Expr.Const w) }
+  |> fun t -> normalize t.rank t.entries
+
+let entries t = OffsetMap.bindings t.entries
+let support t = List.map fst (entries t)
+let dims t = t.rank
+let npoints t = OffsetMap.cardinal t.entries
+let find t o = OffsetMap.find_opt o t.entries
+
+let add a b =
+  if a.rank <> b.rank then invalid_arg "Weights.add: rank mismatch";
+  let entries =
+    OffsetMap.union (fun _ x y -> Some Expr.(x +: y)) a.entries b.entries
+  in
+  normalize a.rank entries
+
+let radius t =
+  List.fold_left (fun acc o -> max acc (Ivec.linf_norm o)) 0 (support t)
+
+let equal a b =
+  a.rank = b.rank && OffsetMap.equal Expr.equal a.entries b.entries
+
+let hash t =
+  Hashc.combine (Hashc.int t.rank)
+    (Hashc.list (Hashc.pair Ivec.hash Expr.hash) (entries t))
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i (o, e) ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%a: %a" Ivec.pp o Expr.pp e)
+    (entries t);
+  Format.fprintf ppf "}"

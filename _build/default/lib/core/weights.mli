@@ -1,0 +1,53 @@
+(** Stencil weight arrays.
+
+    The paper exposes two surface syntaxes for the same object: a
+    [WeightArray] (an N-deep nested array whose middle element is the stencil
+    centre) and a [SparseArray] (a map from offset vectors to weights).  Both
+    normalise to the sparse form used everywhere else in the system.  Weights
+    are full expressions, so nested components (variable-coefficient
+    stencils) are supported. *)
+
+open Sf_util
+
+(** Nested surface syntax.  [W w] is a constant weight, [E e] an expression
+    weight, [A xs] one nesting level. *)
+type nested = W of float | E of Expr.t | A of nested list
+
+type t
+(** A canonical sparse weight array: zero weights dropped, offsets sorted. *)
+
+val of_nested : nested -> t
+(** Interprets an N-deep nested array.  All siblings at each level must have
+    equal shape (raises [Invalid_argument] otherwise); the centre index on an
+    axis of extent [e] is [e / 2], matching the paper's "middle element"
+    convention for odd extents.  [of_nested (W w)] is a 0-offset scalar only
+    when wrapped in at least one [A]; a bare leaf is rejected. *)
+
+val of_nested_center : center:Ivec.t -> nested -> t
+(** As {!of_nested} with an explicit centre index. *)
+
+val of_alist : (int list * Expr.t) list -> t
+(** The paper's [SparseArray]: explicit offset/weight pairs.  Duplicate
+    offsets are summed. *)
+
+val scalar : float -> int -> t
+(** [scalar w n] is the [n]-dimensional single-point weight [w] at offset
+    0 — e.g. [WeightArray([[1]])] in 2-D is [scalar 1. 2]. *)
+
+val entries : t -> (Ivec.t * Expr.t) list
+(** Sorted by offset; no zero constant weights. *)
+
+val support : t -> Ivec.t list
+val dims : t -> int
+val npoints : t -> int
+val find : t -> Ivec.t -> Expr.t option
+
+val add : t -> t -> t
+(** Pointwise sum of two weight arrays of equal rank. *)
+
+val radius : t -> int
+(** Maximum L∞ norm over the support (0 for an empty array). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

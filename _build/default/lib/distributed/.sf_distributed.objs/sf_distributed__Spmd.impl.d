@@ -1,0 +1,1 @@
+lib/distributed/spmd.ml: Array Domain Expr Fun Grids Group Ivec List Mesh Nd Printf Sf_backends Sf_hpgmg Sf_mesh Sf_util Snowflake Stencil String

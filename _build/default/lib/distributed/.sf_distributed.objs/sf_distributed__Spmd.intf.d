@@ -1,0 +1,1 @@
+lib/distributed/spmd.mli: Grids Group Ivec Mesh Sf_mesh Sf_util Snowflake Stencil

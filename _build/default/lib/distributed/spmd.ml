@@ -1,0 +1,207 @@
+open Sf_util
+open Sf_mesh
+open Snowflake
+open Sf_hpgmg
+
+type t = {
+  dims : int;
+  rank_grid : Ivec.t;
+  local_n : int;
+  shape : Ivec.t;
+  grids : Grids.t;
+}
+
+let rank_name base r =
+  base ^ "@"
+  ^ String.concat "_" (List.map string_of_int (Ivec.to_list r))
+
+let ranks t =
+  let acc = ref [] in
+  let r = Array.make t.dims 0 in
+  let rec go axis =
+    if axis = t.dims then acc := Array.copy r :: !acc
+    else
+      for v = 0 to t.rank_grid.(axis) - 1 do
+        r.(axis) <- v;
+        go (axis + 1)
+      done
+  in
+  go 0;
+  List.rev !acc
+
+let mesh_bases dims =
+  [ "u"; "f"; "res"; "tmp"; "dinv" ]
+  @ List.init dims (fun a -> Nd.beta_name a)
+
+let create ~rank_grid ~local_n =
+  let rank_grid = Ivec.of_list rank_grid in
+  let dims = Ivec.dims rank_grid in
+  if dims < 1 then invalid_arg "Spmd.create: empty rank grid";
+  Array.iter
+    (fun c -> if c < 1 then invalid_arg "Spmd.create: non-positive rank count")
+    rank_grid;
+  if local_n < 2 || local_n mod 2 <> 0 then
+    invalid_arg "Spmd.create: local_n must be even and >= 2";
+  let shape = Ivec.make dims (local_n + 2) in
+  let t =
+    { dims; rank_grid; local_n; shape; grids = Grids.create () }
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun base ->
+          let m = Mesh.create shape in
+          if String.length base >= 5 && String.sub base 0 5 = "beta_" then
+            Mesh.fill m 1.;
+          Grids.add t.grids (rank_name base r) m)
+        (mesh_bases dims))
+    (ranks t);
+  t
+
+let global_n t = t.local_n * t.rank_grid.(0)
+let h t = 1. /. float_of_int (global_n t)
+let params t = [ ("inv_h2", 1. /. (h t *. h t)) ]
+
+let off dims a v =
+  let o = Ivec.zero dims in
+  o.(a) <- v;
+  o
+
+(* One face of one rank: either a halo copy from the adjacent rank or the
+   physical linear-Dirichlet stencil. *)
+let face_stencil t ~base r axis side =
+  let dims = t.dims in
+  let n = t.local_n in
+  let lo = Array.make dims 1 and hi = Array.make dims (-1) in
+  let my = rank_name base r in
+  let plane_dom () =
+    Domain.of_rect (Domain.rect ~lo:(Ivec.to_list lo) ~hi:(Ivec.to_list hi) ())
+  in
+  match side with
+  | `Low ->
+      lo.(axis) <- 0;
+      hi.(axis) <- 1;
+      if r.(axis) = 0 then
+        Stencil.make
+          ~label:(Printf.sprintf "bc_%s_ax%d_lo" my axis)
+          ~output:my
+          ~expr:(Expr.neg (Expr.read my (off dims axis 1)))
+          ~domain:(plane_dom ()) ()
+      else begin
+        let neighbour = Array.copy r in
+        neighbour.(axis) <- r.(axis) - 1;
+        Stencil.make
+          ~label:(Printf.sprintf "halo_%s_ax%d_lo" my axis)
+          ~output:my
+          ~expr:(Expr.read (rank_name base neighbour) (off dims axis n))
+          ~domain:(plane_dom ()) ()
+      end
+  | `High ->
+      lo.(axis) <- -1;
+      hi.(axis) <- 0;
+      if r.(axis) = t.rank_grid.(axis) - 1 then
+        Stencil.make
+          ~label:(Printf.sprintf "bc_%s_ax%d_hi" my axis)
+          ~output:my
+          ~expr:(Expr.neg (Expr.read my (off dims axis (-1))))
+          ~domain:(plane_dom ()) ()
+      else begin
+        let neighbour = Array.copy r in
+        neighbour.(axis) <- r.(axis) + 1;
+        Stencil.make
+          ~label:(Printf.sprintf "halo_%s_ax%d_hi" my axis)
+          ~output:my
+          ~expr:(Expr.read (rank_name base neighbour) (off dims axis (-n)))
+          ~domain:(plane_dom ()) ()
+      end
+
+let exchange_stencils t ~base =
+  List.concat_map
+    (fun r ->
+      List.concat_map
+        (fun axis -> [ face_stencil t ~base r axis `Low; face_stencil t ~base r axis `High ])
+        (List.init t.dims Fun.id))
+    (ranks t)
+
+let per_rank_stencil _t stencil r =
+  Stencil.rename_grids (fun g -> rank_name g r) stencil
+  |> fun s -> Stencil.relabel s (s.Stencil.label ^ rank_name "" r)
+
+let gsrb_smooth_group t =
+  let color c =
+    List.map (per_rank_stencil t (Nd.gsrb_color ~dims:t.dims ~color:c)) (ranks t)
+  in
+  Group.make ~label:"spmd_gsrb"
+    (exchange_stencils t ~base:"u"
+    @ color 0
+    @ exchange_stencils t ~base:"u"
+    @ color 1)
+
+let residual_group t =
+  Group.make ~label:"spmd_residual"
+    (exchange_stencils t ~base:"u"
+    @ List.map (per_rank_stencil t (Nd.residual_vc ~dims:t.dims)) (ranks t))
+
+let run_group t group =
+  let kernel =
+    Sf_backends.Jit.compile Sf_backends.Jit.Compiled ~shape:t.shape group
+  in
+  kernel.Sf_backends.Kernel.run ~params:(params t) t.grids
+
+let init_dinv t =
+  run_group t
+    (Group.make ~label:"spmd_dinv"
+       (List.map (per_rank_stencil t (Nd.dinv_setup ~dims:t.dims)) (ranks t)))
+
+(* physical coordinate of local index l on rank r along axis a *)
+let coord t r a l = (float_of_int ((r.(a) * t.local_n) + l) -. 0.5) *. h t
+
+let iter_rank_interior t fn =
+  let interior =
+    Domain.resolve_rect ~shape:t.shape
+      (Domain.rect
+         ~lo:(List.init t.dims (fun _ -> 1))
+         ~hi:(List.init t.dims (fun _ -> -1))
+         ())
+  in
+  List.iter (fun r -> Domain.iter interior (fun p -> fn r p)) (ranks t)
+
+let fill_interior t ~base fn =
+  iter_rank_interior t (fun r p ->
+      let coords = Array.mapi (fun a l -> coord t r a l) p in
+      Mesh.set (Grids.find t.grids (rank_name base r)) p (fn coords))
+
+let set_beta t beta =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun axis ->
+          let m = Grids.find t.grids (rank_name (Nd.beta_name axis) r) in
+          Mesh.fill_with m (fun p ->
+              let coords =
+                Array.mapi
+                  (fun a l ->
+                    if a = axis then
+                      float_of_int ((r.(a) * t.local_n) + l - 1) *. h t
+                    else coord t r a l)
+                  p
+              in
+              beta coords))
+        (List.init t.dims Fun.id))
+    (ranks t);
+  init_dinv t
+
+let global_shape t =
+  Array.init t.dims (fun a -> (t.local_n * t.rank_grid.(a)) + 2)
+
+let gather t ~base =
+  let g = Mesh.create (global_shape t) in
+  iter_rank_interior t (fun r p ->
+      let gp = Array.mapi (fun a l -> (r.(a) * t.local_n) + l) p in
+      Mesh.set g gp (Mesh.get (Grids.find t.grids (rank_name base r)) p));
+  g
+
+let scatter t ~base global =
+  iter_rank_interior t (fun r p ->
+      let gp = Array.mapi (fun a l -> (r.(a) * t.local_n) + l) p in
+      Mesh.set (Grids.find t.grids (rank_name base r)) p (Mesh.get global gp))

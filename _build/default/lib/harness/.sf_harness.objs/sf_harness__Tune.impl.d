@@ -1,0 +1,1 @@
+lib/harness/tune.ml: Array Config Ivec Jit Kernel List Option Sf_backends Sf_util Timer

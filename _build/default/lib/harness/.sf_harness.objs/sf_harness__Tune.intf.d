@@ -1,0 +1,1 @@
+lib/harness/tune.mli: Config Grids Group Ivec Jit Sf_backends Sf_mesh Sf_util Snowflake

@@ -1,0 +1,13 @@
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let time_all ?(warmup = 1) ?(repeats = 3) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  Array.init repeats (fun _ -> time_once f)
+
+let time ?warmup ?repeats f =
+  Array.fold_left min infinity (time_all ?warmup ?repeats f)

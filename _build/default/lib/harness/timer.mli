@@ -1,0 +1,15 @@
+(** Wall-clock timing helpers for the experiment harness.
+
+    The paper's methodology — an untimed warmup phase followed by the
+    benchmarked phase (§V.A) — is baked in. *)
+
+val time_once : (unit -> unit) -> float
+(** Seconds for one invocation. *)
+
+val time : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float
+(** Best-of-[repeats] (default 3) wall time after [warmup] (default 1)
+    untimed runs.  Best-of is the right estimator for a dedicated machine:
+    noise is strictly additive. *)
+
+val time_all : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float array
+(** All the timed samples, for dispersion reporting. *)

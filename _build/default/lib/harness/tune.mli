@@ -1,0 +1,47 @@
+(** A measured auto-tuner for the compilation knobs (paper §IV.A: tiling
+    "provides a method of tuning tiling sizes"; §VI situates Snowflake
+    beside PATUS-style autotuning).
+
+    The tuner times a kernel across a candidate set of configurations and
+    returns the fastest; it is deliberately simple (exhaustive over a
+    small generated candidate list — the paper's knobs are few). *)
+
+open Sf_util
+open Sf_mesh
+open Snowflake
+open Sf_backends
+
+val tile_candidates : dims:int -> n:int -> int list option list
+(** [None] (outer chunking) plus cubic and skewed tile shapes that fit the
+    extent [n]. *)
+
+type result = {
+  config : Config.t;
+  time : float;  (** best-of seconds for one kernel run *)
+}
+
+val evaluate :
+  ?candidates:Config.t list ->
+  ?repeats:int ->
+  backend:Jit.backend ->
+  shape:Ivec.t ->
+  params:(string * float) list ->
+  grids:Grids.t ->
+  Group.t ->
+  result list
+(** Every candidate with its measured time, in candidate order. *)
+
+val best :
+  ?candidates:Config.t list ->
+  ?repeats:int ->
+  backend:Jit.backend ->
+  shape:Ivec.t ->
+  params:(string * float) list ->
+  grids:Grids.t ->
+  Group.t ->
+  result
+(** Default candidates: every {!tile_candidates} entry crossed with
+    multicolor on/off, at the base config's worker count.  Runs each
+    candidate (warm-up + best-of [repeats], default 2) against the given
+    meshes — note the meshes are mutated, which is fine for the stencils
+    this is meant for (smoothers converge regardless of starting state). *)

@@ -1,0 +1,1 @@
+lib/hpgmg/baseline.ml: Array Float Grids Level List Mesh Sf_mesh

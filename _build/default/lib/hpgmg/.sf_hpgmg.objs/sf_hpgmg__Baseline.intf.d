@@ -1,0 +1,1 @@
+lib/hpgmg/baseline.mli: Level Mesh Sf_mesh

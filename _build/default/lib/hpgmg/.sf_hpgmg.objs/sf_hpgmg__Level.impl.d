@@ -1,0 +1,1 @@
+lib/hpgmg/level.ml: Array Float Grids Ivec List Mesh Sf_mesh Sf_util

@@ -1,0 +1,1 @@
+lib/hpgmg/level.mli: Grids Ivec Mesh Sf_mesh Sf_util

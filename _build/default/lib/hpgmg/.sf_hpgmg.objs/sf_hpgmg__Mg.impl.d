@@ -1,0 +1,1 @@
+lib/hpgmg/mg.ml: Array Config Float Grids Group Hashtbl Jit Kernel Level List Mesh Operators Printf Sf_backends Sf_mesh Snowflake Unix

@@ -1,0 +1,1 @@
+lib/hpgmg/mg.mli: Config Hashtbl Jit Level Sf_backends

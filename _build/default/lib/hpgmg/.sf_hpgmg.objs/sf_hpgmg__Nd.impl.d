@@ -1,0 +1,1 @@
+lib/hpgmg/nd.ml: Affine Array Domain Dsl Expr Float Fun Grids Group Ivec Jit Kernel List Mesh Printf Sf_backends Sf_mesh Sf_util Snowflake Stencil String

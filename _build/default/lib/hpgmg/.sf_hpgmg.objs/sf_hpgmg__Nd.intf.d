@@ -1,0 +1,1 @@
+lib/hpgmg/nd.mli: Domain Expr Grids Group Ivec Mesh Sf_backends Sf_mesh Sf_util Snowflake Stencil

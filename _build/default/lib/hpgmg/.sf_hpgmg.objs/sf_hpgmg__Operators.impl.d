@@ -1,0 +1,1 @@
+lib/hpgmg/operators.ml: Affine Array Domain Expr Group Ivec List Nd Printf Sf_util Snowflake Stencil

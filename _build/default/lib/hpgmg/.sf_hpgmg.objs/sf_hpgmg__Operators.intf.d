@@ -1,0 +1,1 @@
+lib/hpgmg/operators.mli: Domain Expr Group Snowflake Stencil

@@ -1,0 +1,1 @@
+lib/hpgmg/problem.ml: Level Mesh Random Sf_mesh

@@ -1,0 +1,1 @@
+lib/hpgmg/problem.mli: Level

@@ -1,0 +1,317 @@
+open Sf_mesh
+
+(* All kernels address meshes through precomputed flat strides:
+   idx(i,j,k) = i*sx + j*sy + k with sy = n+2 and sx = (n+2)².  Loops are
+   written k-innermost (unit stride) with the index carried incrementally —
+   the shape a performance programmer would hand-write. *)
+
+let strides (level : Level.t) =
+  let e = level.Level.n + 2 in
+  (e * e, e)
+
+let apply_boundaries (level : Level.t) mesh =
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let d = Mesh.data mesh in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for j = 1 to n do
+    for k = 1 to n do
+      (* x faces *)
+      set d ((0 * sx) + (j * sy) + k) (-.get d ((1 * sx) + (j * sy) + k));
+      set d
+        (((n + 1) * sx) + (j * sy) + k)
+        (-.get d ((n * sx) + (j * sy) + k))
+    done
+  done;
+  for i = 1 to n do
+    for k = 1 to n do
+      (* y faces *)
+      set d ((i * sx) + (0 * sy) + k) (-.get d ((i * sx) + (1 * sy) + k));
+      set d
+        ((i * sx) + ((n + 1) * sy) + k)
+        (-.get d ((i * sx) + (n * sy) + k))
+    done
+  done;
+  for i = 1 to n do
+    for j = 1 to n do
+      (* z faces *)
+      set d ((i * sx) + (j * sy) + 0) (-.get d ((i * sx) + (j * sy) + 1));
+      set d ((i * sx) + (j * sy) + n + 1) (-.get d ((i * sx) + (j * sy) + n))
+    done
+  done
+
+let laplacian_cc (level : Level.t) ~out ~input =
+  apply_boundaries level input;
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let inv_h2 = 1. /. (level.Level.h *. level.Level.h) in
+  let src = Mesh.data input and dst = Mesh.data out in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      for k = 1 to n do
+        let idx = row + k in
+        let v =
+          inv_h2
+          *. ((6. *. get src idx)
+             -. (get src (idx - sx) +. get src (idx + sx) +. get src (idx - sy)
+               +. get src (idx + sy) +. get src (idx - 1) +. get src (idx + 1)
+               ))
+        in
+        set dst idx v
+      done
+    done
+  done
+
+let jacobi_cc (level : Level.t) =
+  let u = Level.u level in
+  apply_boundaries level u;
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let inv_h2 = 1. /. (level.Level.h *. level.Level.h) in
+  let w = 2. /. 3. /. (6. *. inv_h2) in
+  let du = Mesh.data u in
+  let df = Mesh.data (Level.f level) in
+  let dt = Mesh.data (Grids.find level.Level.grids "tmp") in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      for k = 1 to n do
+        let idx = row + k in
+        let au =
+          inv_h2
+          *. ((6. *. get du idx)
+             -. (get du (idx - sx) +. get du (idx + sx) +. get du (idx - sy)
+               +. get du (idx + sy) +. get du (idx - 1) +. get du (idx + 1)))
+        in
+        set dt idx (get du idx +. (w *. (get df idx -. au)))
+      done
+    done
+  done;
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      for k = 1 to n do
+        let idx = row + k in
+        set du idx (get dt idx)
+      done
+    done
+  done
+
+let gsrb_sweep (level : Level.t) color =
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let inv_h2 = 1. /. (level.Level.h *. level.Level.h) in
+  let du = Mesh.data (Level.u level) in
+  let df = Mesh.data (Level.f level) in
+  let dd = Mesh.data (Level.dinv level) in
+  let bx = Mesh.data (Grids.find level.Level.grids "beta_x") in
+  let by = Mesh.data (Grids.find level.Level.grids "beta_y") in
+  let bz = Mesh.data (Grids.find level.Level.grids "beta_z") in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      let k0 = 1 + ((((color - i - j - 1) mod 2) + 2) mod 2) in
+      let k = ref k0 in
+      while !k <= n do
+        let idx = row + !k in
+        let blo_x = get bx idx and bhi_x = get bx (idx + sx) in
+        let blo_y = get by idx and bhi_y = get by (idx + sy) in
+        let blo_z = get bz idx and bhi_z = get bz (idx + 1) in
+        let au =
+          inv_h2
+          *. (((blo_x +. bhi_x +. blo_y +. bhi_y +. blo_z +. bhi_z)
+              *. get du idx)
+             -. ((blo_x *. get du (idx - sx))
+               +. (bhi_x *. get du (idx + sx))
+               +. (blo_y *. get du (idx - sy))
+               +. (bhi_y *. get du (idx + sy))
+               +. (blo_z *. get du (idx - 1))
+               +. (bhi_z *. get du (idx + 1))))
+        in
+        set du idx (get du idx +. (get dd idx *. (get df idx -. au)));
+        k := !k + 2
+      done
+    done
+  done
+
+let smooth_gsrb level =
+  apply_boundaries level (Level.u level);
+  gsrb_sweep level 0;
+  apply_boundaries level (Level.u level);
+  gsrb_sweep level 1
+
+let residual_vc (level : Level.t) =
+  apply_boundaries level (Level.u level);
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let inv_h2 = 1. /. (level.Level.h *. level.Level.h) in
+  let du = Mesh.data (Level.u level) in
+  let df = Mesh.data (Level.f level) in
+  let dr = Mesh.data (Level.res level) in
+  let bx = Mesh.data (Grids.find level.Level.grids "beta_x") in
+  let by = Mesh.data (Grids.find level.Level.grids "beta_y") in
+  let bz = Mesh.data (Grids.find level.Level.grids "beta_z") in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      for k = 1 to n do
+        let idx = row + k in
+        let blo_x = get bx idx and bhi_x = get bx (idx + sx) in
+        let blo_y = get by idx and bhi_y = get by (idx + sy) in
+        let blo_z = get bz idx and bhi_z = get bz (idx + 1) in
+        let au =
+          inv_h2
+          *. (((blo_x +. bhi_x +. blo_y +. bhi_y +. blo_z +. bhi_z)
+              *. get du idx)
+             -. ((blo_x *. get du (idx - sx))
+               +. (bhi_x *. get du (idx + sx))
+               +. (blo_y *. get du (idx - sy))
+               +. (bhi_y *. get du (idx + sy))
+               +. (blo_z *. get du (idx - 1))
+               +. (bhi_z *. get du (idx + 1))))
+        in
+        set dr idx (get df idx -. au)
+      done
+    done
+  done
+
+let restrict_pc ~(coarse : Level.t) ~src =
+  let nc = coarse.Level.n in
+  let sxc, syc = strides coarse in
+  let ef = (2 * nc) + 2 in
+  let sxf, syf = (ef * ef, ef) in
+  let ds = Mesh.data src and dc = Mesh.data (Level.f coarse) in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to nc do
+    for j = 1 to nc do
+      for k = 1 to nc do
+        let fi = (2 * i) - 1 and fj = (2 * j) - 1 and fk = (2 * k) - 1 in
+        let b = (fi * sxf) + (fj * syf) + fk in
+        let s =
+          get ds b +. get ds (b + 1) +. get ds (b + syf)
+          +. get ds (b + syf + 1)
+          +. get ds (b + sxf)
+          +. get ds (b + sxf + 1)
+          +. get ds (b + sxf + syf)
+          +. get ds (b + sxf + syf + 1)
+        in
+        set dc ((i * sxc) + (j * syc) + k) (0.125 *. s)
+      done
+    done
+  done
+
+let interpolate_pc ~(coarse : Level.t) ~(fine : Level.t) =
+  let nc = coarse.Level.n in
+  let sxc, syc = strides coarse in
+  let sxf, syf = strides fine in
+  let dc = Mesh.data (Level.u coarse) and df = Mesh.data (Level.u fine) in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to nc do
+    for j = 1 to nc do
+      for k = 1 to nc do
+        let v = get dc ((i * sxc) + (j * syc) + k) in
+        let fi = (2 * i) - 1 and fj = (2 * j) - 1 and fk = (2 * k) - 1 in
+        let b = (fi * sxf) + (fj * syf) + fk in
+        let bump idx = set df idx (get df idx +. v) in
+        bump b;
+        bump (b + 1);
+        bump (b + syf);
+        bump (b + syf + 1);
+        bump (b + sxf);
+        bump (b + sxf + 1);
+        bump (b + sxf + syf);
+        bump (b + sxf + syf + 1)
+      done
+    done
+  done
+
+let init_dinv (level : Level.t) =
+  let n = level.Level.n in
+  let sx, sy = strides level in
+  let inv_h2 = 1. /. (level.Level.h *. level.Level.h) in
+  let dd = Mesh.data (Level.dinv level) in
+  let bx = Mesh.data (Grids.find level.Level.grids "beta_x") in
+  let by = Mesh.data (Grids.find level.Level.grids "beta_y") in
+  let bz = Mesh.data (Grids.find level.Level.grids "beta_z") in
+  let get = Float.Array.unsafe_get and set = Float.Array.unsafe_set in
+  for i = 1 to n do
+    for j = 1 to n do
+      let row = (i * sx) + (j * sy) in
+      for k = 1 to n do
+        let idx = row + k in
+        let s =
+          get bx idx +. get bx (idx + sx) +. get by idx
+          +. get by (idx + sy)
+          +. get bz idx
+          +. get bz (idx + 1)
+        in
+        set dd idx (1. /. (inv_h2 *. s))
+      done
+    done
+  done
+
+type t = { levels : Level.t array; smooths : int; coarse_iters : int }
+
+let create ?(smooths = 2) ?(coarse_iters = 24) ?(coarsest_n = 2) ~n () =
+  let rec sizes acc n =
+    if n = coarsest_n then List.rev (n :: acc)
+    else if n < coarsest_n || n mod 2 <> 0 then
+      invalid_arg "Baseline.create: n must be coarsest_n times a power of 2"
+    else sizes (n :: acc) (n / 2)
+  in
+  let levels =
+    Array.of_list (List.map (fun n -> Level.create ~n) (sizes [] n))
+  in
+  Array.iter init_dinv levels;
+  { levels; smooths; coarse_iters }
+
+let finest t = t.levels.(0)
+let dof t = Level.dof (finest t)
+
+let set_beta t beta =
+  Array.iter
+    (fun level ->
+      Level.set_beta level beta;
+      init_dinv level)
+    t.levels
+
+let rec cycle t i =
+  let coarsest = Array.length t.levels - 1 in
+  if i = coarsest then
+    for _ = 1 to t.coarse_iters do
+      smooth_gsrb t.levels.(i)
+    done
+  else begin
+    for _ = 1 to t.smooths do
+      smooth_gsrb t.levels.(i)
+    done;
+    residual_vc t.levels.(i);
+    let fine = t.levels.(i) and coarse = t.levels.(i + 1) in
+    restrict_pc ~coarse ~src:(Level.res fine);
+    Mesh.fill (Level.u coarse) 0.;
+    cycle t (i + 1);
+    interpolate_pc ~coarse ~fine;
+    for _ = 1 to t.smooths do
+      smooth_gsrb t.levels.(i)
+    done
+  end
+
+let vcycle t = cycle t 0
+
+let residual_norm t =
+  residual_vc (finest t);
+  Level.interior_norm_l2 (finest t) (Level.res (finest t))
+
+let solve ?(cycles = 10) t =
+  let norms = Array.make (cycles + 1) 0. in
+  norms.(0) <- residual_norm t;
+  for c = 1 to cycles do
+    vcycle t;
+    norms.(c) <- residual_norm t
+  done;
+  norms

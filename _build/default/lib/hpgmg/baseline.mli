@@ -1,0 +1,52 @@
+(** Hand-written 3-D kernels: the stand-in for hand-optimized HPGMG.
+
+    These play the role of the paper's comparison target — straight-line
+    OCaml with precomputed flat strides, fused index arithmetic and no DSL
+    machinery.  Semantically each function matches the corresponding
+    Snowflake group bit-for-bit (asserted by the test suite), so the
+    benchmark comparison isolates the cost of the generated code, exactly
+    as Figures 7–9 do. *)
+
+open Sf_mesh
+
+val apply_boundaries : Level.t -> Mesh.t -> unit
+(** Linear Dirichlet ghost exchange on all six faces. *)
+
+val laplacian_cc : Level.t -> out:Mesh.t -> input:Mesh.t -> unit
+(** out = A_cc input (7-point constant-coefficient, boundaries applied
+    first). *)
+
+val jacobi_cc : Level.t -> unit
+(** One weighted-Jacobi sweep with ping-pong through [tmp], boundaries
+    applied first: matches [Operators.jacobi_smooth]. *)
+
+val smooth_gsrb : Level.t -> unit
+(** boundaries / red / boundaries / black, variable-coefficient: matches
+    [Operators.gsrb_smooth]. *)
+
+val residual_vc : Level.t -> unit
+(** res = f − A_vc u, boundaries applied first. *)
+
+val restrict_pc : coarse:Level.t -> src:Mesh.t -> unit
+(** Piecewise-constant restriction of a fine mesh into the coarse [f]. *)
+
+val interpolate_pc : coarse:Level.t -> fine:Level.t -> unit
+(** Piecewise-constant interpolation-and-correct of coarse [u] into fine
+    [u]. *)
+
+val init_dinv : Level.t -> unit
+
+(** {2 A complete baseline solver} — mirrors [Mg] wired to the hand
+    kernels. *)
+
+type t = { levels : Level.t array; smooths : int; coarse_iters : int }
+
+val create : ?smooths:int -> ?coarse_iters:int -> ?coarsest_n:int -> n:int ->
+  unit -> t
+
+val finest : t -> Level.t
+val set_beta : t -> (float -> float -> float -> float) -> unit
+val vcycle : t -> unit
+val residual_norm : t -> float
+val solve : ?cycles:int -> t -> float array
+val dof : t -> int

@@ -1,0 +1,83 @@
+open Sf_util
+open Sf_mesh
+
+type t = { n : int; shape : Ivec.t; h : float; grids : Grids.t }
+
+let mesh_names = [ "u"; "f"; "res"; "tmp"; "dinv" ]
+let beta_names = [ "beta_x"; "beta_y"; "beta_z" ]
+
+let create ~n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Level.create: n must be even and >= 2";
+  let e = n + 2 in
+  let shape = Ivec.of_list [ e; e; e ] in
+  let grids = Grids.create () in
+  List.iter (fun name -> Grids.add grids name (Mesh.create shape)) mesh_names;
+  List.iter
+    (fun name ->
+      let m = Mesh.create shape in
+      Mesh.fill m 1.;
+      Grids.add grids name m)
+    beta_names;
+  { n; shape; h = 1. /. float_of_int n; grids }
+
+let params t = [ ("inv_h2", 1. /. (t.h *. t.h)) ]
+let u t = Grids.find t.grids "u"
+let f t = Grids.find t.grids "f"
+let res t = Grids.find t.grids "res"
+let dinv t = Grids.find t.grids "dinv"
+let dof t = t.n * t.n * t.n
+
+let cell_center t p =
+  let c i = (float_of_int i -. 0.5) *. t.h in
+  (c p.(0), c p.(1), c p.(2))
+
+let iter_interior t fn =
+  for i = 1 to t.n do
+    for j = 1 to t.n do
+      for k = 1 to t.n do
+        fn [| i; j; k |]
+      done
+    done
+  done
+
+let fill_interior mesh t fn =
+  iter_interior t (fun p ->
+      let x, y, z = cell_center t p in
+      Mesh.set mesh p (fn x y z))
+
+let set_beta t beta =
+  (* beta_a at cell (i,j,k) sits on the low face of the cell along axis a:
+     that face's centre has coordinate (i-1)h along a and cell-centre
+     coordinates along the other axes. *)
+  let fill axis name =
+    let m = Grids.find t.grids name in
+    Mesh.fill_with m (fun p ->
+        let coord a =
+          if a = axis then float_of_int (p.(a) - 1) *. t.h
+          else (float_of_int p.(a) -. 0.5) *. t.h
+        in
+        beta (coord 0) (coord 1) (coord 2))
+  in
+  fill 0 "beta_x";
+  fill 1 "beta_y";
+  fill 2 "beta_z"
+
+let interior_norm_l2 t mesh =
+  let acc = ref 0. in
+  iter_interior t (fun p ->
+      let v = Mesh.get mesh p in
+      acc := !acc +. (v *. v));
+  sqrt !acc
+
+let interior_norm_linf t mesh =
+  let acc = ref 0. in
+  iter_interior t (fun p -> acc := Float.max !acc (Float.abs (Mesh.get mesh p)));
+  !acc
+
+let error_vs t mesh exact =
+  let acc = ref 0. in
+  iter_interior t (fun p ->
+      let x, y, z = cell_center t p in
+      acc := Float.max !acc (Float.abs (Mesh.get mesh p -. exact x y z)));
+  !acc

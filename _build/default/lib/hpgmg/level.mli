@@ -1,0 +1,54 @@
+(** One level of the multigrid hierarchy.
+
+    A level of interior size n³ owns its meshes — solution, right-hand
+    side, residual, Jacobi scratch, the three face-coefficient arrays and
+    the inverse diagonal — all allocated (n+2)³ with a one-cell ghost
+    ring.  The physical domain is the unit cube; the mesh spacing is
+    h = 1/n and cell (i,j,k) is centred at ((i−½)h, (j−½)h, (k−½)h) with
+    i = 1..n interior. *)
+
+open Sf_util
+open Sf_mesh
+
+type t = {
+  n : int;  (** interior cells per axis; must be even and ≥ 2 *)
+  shape : Ivec.t;  (** (n+2, n+2, n+2) *)
+  h : float;  (** 1 / n *)
+  grids : Grids.t;
+}
+
+val create : n:int -> t
+(** Allocates all meshes zeroed except betas, which default to 1
+    (constant-coefficient Poisson).  Raises [Invalid_argument] for odd or
+    too-small [n]. *)
+
+val params : t -> (string * float) list
+(** The scalar bindings every kernel on this level needs: [inv_h2]. *)
+
+val u : t -> Mesh.t
+val f : t -> Mesh.t
+val res : t -> Mesh.t
+val dinv : t -> Mesh.t
+
+val dof : t -> int
+(** n³ — unknowns on this level. *)
+
+val cell_center : t -> Ivec.t -> float * float * float
+(** Physical coordinates of a cell's centre. *)
+
+val fill_interior : Mesh.t -> t -> (float -> float -> float -> float) -> unit
+(** Evaluate a function of physical cell-centre coordinates over the
+    interior cells of a mesh belonging to this level. *)
+
+val set_beta : t -> (float -> float -> float -> float) -> unit
+(** Fill the three face-coefficient meshes by evaluating β at face
+    centres (every stored face, including those bordering ghosts). *)
+
+val interior_norm_l2 : t -> Mesh.t -> float
+(** Discrete L2 norm over interior cells only (ghosts excluded). *)
+
+val interior_norm_linf : t -> Mesh.t -> float
+
+val error_vs : t -> Mesh.t -> (float -> float -> float -> float) -> float
+(** L∞ distance between a mesh and an exact solution sampled at cell
+    centres, over the interior. *)

@@ -1,0 +1,215 @@
+open Sf_mesh
+open Snowflake
+open Sf_backends
+
+type interp_kind = Constant | Linear
+type smoother = Gsrb | Gsrb4 | Jacobi | Chebyshev of int
+
+type config = {
+  backend : Jit.backend;
+  jit : Config.t;
+  smoother : smoother;
+  smooths : int;
+  coarsest_n : int;
+  coarse_iters : int;
+  interp : interp_kind;
+}
+
+let default_config =
+  {
+    backend = Jit.Compiled;
+    jit = Config.default;
+    smoother = Gsrb;
+    smooths = 2;
+    coarsest_n = 2;
+    coarse_iters = 24;
+    interp = Constant;
+  }
+
+type t = {
+  levels : Level.t array;
+  config : config;
+  timers : (string, float ref) Hashtbl.t;
+}
+
+let finest t = t.levels.(0)
+let dof t = Level.dof (finest t)
+
+(* wall-time accounting per (operation, level) — the HPGMG breakdown *)
+let timed t key f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  match Hashtbl.find_opt t.timers key with
+  | Some r -> r := !r +. dt
+  | None -> Hashtbl.replace t.timers key (ref dt)
+
+let profile t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.timers []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let reset_profile t = Hashtbl.reset t.timers
+
+(* Stencil groups reused across levels; resolution against each level's
+   shape happens at JIT time, so one definition serves the whole
+   hierarchy — the language property §II.A calls out. *)
+let residual_group =
+  Group.make ~label:"residual"
+    (Operators.boundaries ~grid:"u" @ [ Operators.residual_vc ])
+
+let dinv_group = Group.make ~label:"dinv" [ Operators.dinv_setup ]
+let restrict_group = Group.make ~label:"restrict" [ Operators.restriction ]
+
+let interp_group = function
+  | Constant -> Group.make ~label:"interp_pc" Operators.interpolation
+  | Linear ->
+      Group.make ~label:"interp_tl"
+        (Operators.boundaries ~grid:"coarse_u" @ Operators.interpolation_linear)
+
+let compile t group ~shape =
+  Jit.compile ~config:t.config.jit t.config.backend ~shape group
+
+let create ?(config = default_config) ~n () =
+  let rec sizes acc n =
+    if n = config.coarsest_n then List.rev (n :: acc)
+    else if n < config.coarsest_n || n mod 2 <> 0 then
+      invalid_arg
+        (Printf.sprintf "Mg.create: n must be coarsest_n (%d) times a power of 2"
+           config.coarsest_n)
+    else sizes (n :: acc) (n / 2)
+  in
+  let levels =
+    Array.of_list (List.map (fun n -> Level.create ~n) (sizes [] n))
+  in
+  let t = { levels; config; timers = Hashtbl.create 32 } in
+  (* betas default to 1; dinv must still be initialised *)
+  let init_dinv_level level =
+    let kernel = compile t dinv_group ~shape:level.Level.shape in
+    kernel.Kernel.run ~params:(Level.params level) level.Level.grids
+  in
+  Array.iter init_dinv_level levels;
+  t
+
+let init_dinv t =
+  Array.iter
+    (fun level ->
+      let kernel = compile t dinv_group ~shape:level.Level.shape in
+      kernel.Kernel.run ~params:(Level.params level) level.Level.grids)
+    t.levels
+
+let set_beta t beta =
+  Array.iter (fun level -> Level.set_beta level beta) t.levels;
+  init_dinv t
+
+let smoother_group = function
+  | Gsrb -> Operators.gsrb_smooth
+  | Gsrb4 -> Operators.gsrb4_smooth
+  | Jacobi -> Operators.jacobi_smooth
+  | Chebyshev degree -> Operators.chebyshev_smooth ~degree
+
+let smoother_params config level =
+  match config.smoother with
+  | Gsrb | Gsrb4 | Jacobi -> Level.params level
+  | Chebyshev degree ->
+      Operators.chebyshev_params ~level_h:level.Level.h ~lambda_lo_frac:0.1
+        ~degree
+
+let smooth_untimed t i =
+  let level = t.levels.(i) in
+  let kernel =
+    compile t (smoother_group t.config.smoother) ~shape:level.Level.shape
+  in
+  kernel.Kernel.run
+    ~params:(smoother_params t.config level)
+    level.Level.grids
+
+let smooth t i =
+  timed t (Printf.sprintf "smooth L%d" i) (fun () -> smooth_untimed t i)
+
+let compute_residual t i =
+  let level = t.levels.(i) in
+  let kernel = compile t residual_group ~shape:level.Level.shape in
+  timed t
+    (Printf.sprintf "residual L%d" i)
+    (fun () ->
+      kernel.Kernel.run ~params:(Level.params level) level.Level.grids)
+
+(* Restrict a fine-level mesh into the coarse f.  The kernel names its
+   grids "fine_res"/"coarse_f"; binding them per call is the Snowflake
+   idiom for cross-level operators. *)
+let restrict_into t ~fine_mesh ~coarse =
+  let kernel = compile t restrict_group ~shape:coarse.Level.shape in
+  kernel.Kernel.run
+    ~params:(Level.params coarse)
+    (Grids.of_list
+       [ ("fine_res", fine_mesh); ("coarse_f", Level.f coarse) ])
+
+let interpolate_and_correct t ~coarse ~fine =
+  let group = interp_group t.config.interp in
+  let kernel = compile t group ~shape:coarse.Level.shape in
+  kernel.Kernel.run
+    ~params:(Level.params coarse)
+    (Grids.of_list [ ("coarse_u", Level.u coarse); ("fine_u", Level.u fine) ])
+
+let rec cycle t i =
+  let coarsest = Array.length t.levels - 1 in
+  if i = coarsest then
+    timed t
+      (Printf.sprintf "bottom L%d" i)
+      (fun () ->
+        for _ = 1 to t.config.coarse_iters do
+          smooth_untimed t i
+        done)
+  else begin
+    for _ = 1 to t.config.smooths do
+      smooth t i
+    done;
+    compute_residual t i;
+    let fine = t.levels.(i) and coarse = t.levels.(i + 1) in
+    timed t
+      (Printf.sprintf "restrict L%d->L%d" i (i + 1))
+      (fun () -> restrict_into t ~fine_mesh:(Level.res fine) ~coarse);
+    Mesh.fill (Level.u coarse) 0.;
+    cycle t (i + 1);
+    timed t
+      (Printf.sprintf "interp L%d->L%d" (i + 1) i)
+      (fun () -> interpolate_and_correct t ~coarse ~fine);
+    for _ = 1 to t.config.smooths do
+      smooth t i
+    done
+  end
+
+let vcycle t = cycle t 0
+
+let fcycle t =
+  let nlevels = Array.length t.levels in
+  (* push the right-hand side down the hierarchy *)
+  for i = 0 to nlevels - 2 do
+    restrict_into t ~fine_mesh:(Level.f t.levels.(i)) ~coarse:t.levels.(i + 1)
+  done;
+  (* bottom solve *)
+  let bottom = nlevels - 1 in
+  Mesh.fill (Level.u t.levels.(bottom)) 0.;
+  for _ = 1 to t.config.coarse_iters do
+    smooth t bottom
+  done;
+  (* prolong upward, one V-cycle per level *)
+  for i = nlevels - 2 downto 0 do
+    Mesh.fill (Level.u t.levels.(i)) 0.;
+    interpolate_and_correct t ~coarse:t.levels.(i + 1) ~fine:t.levels.(i);
+    cycle t i
+  done
+
+let residual_norm t =
+  compute_residual t 0;
+  let level = finest t in
+  Level.interior_norm_l2 level (Level.res level)
+
+let solve ?(cycles = 10) t =
+  let norms = Array.make (cycles + 1) 0. in
+  norms.(0) <- residual_norm t;
+  for c = 1 to cycles do
+    vcycle t;
+    norms.(c) <- residual_norm t
+  done;
+  norms

@@ -1,0 +1,87 @@
+(** The geometric multigrid solver, assembled entirely from Snowflake
+    stencil groups — the paper's Python/Snowflake HPGMG port (§V).
+
+    Every operator application is a JIT-compiled kernel: GSRB smooths,
+    residuals, piecewise-constant restriction, interpolation-and-correct,
+    and the interleaved Dirichlet boundary stencils.  The backend (and its
+    tuning options) is chosen per solver instance, so the same solver object
+    demonstrates single-source portability across micro-compilers. *)
+
+open Sf_backends
+
+type interp_kind = Constant | Linear
+
+(** Smoother selection.  [Gsrb] is the paper's benchmark configuration;
+    [Gsrb4] uses the four-colour ordering of Fig. 3b; [Jacobi] and
+    [Chebyshev] are constant-coefficient smoothers (use with β ≡ 1). *)
+type smoother = Gsrb | Gsrb4 | Jacobi | Chebyshev of int
+
+type config = {
+  backend : Jit.backend;
+  jit : Config.t;
+  smoother : smoother;
+  smooths : int;  (** smoother applications pre- and post- (paper uses 2) *)
+  coarsest_n : int;  (** stop coarsening at this interior size *)
+  coarse_iters : int;  (** smoother applications used as the bottom solve *)
+  interp : interp_kind;
+}
+
+val default_config : config
+(** compiled backend, GSRB smoother, 2 smooths, coarsest 2³, 24 bottom
+    smooths, piecewise-constant interpolation. *)
+
+type t = private {
+  levels : Level.t array;
+  config : config;
+  timers : (string, float ref) Hashtbl.t;
+      (** per-operation, per-level wall time, keyed e.g. ["smooth L0"] *)
+}
+
+val create : ?config:config -> n:int -> unit -> t
+(** Builds the hierarchy n, n/2, …, [coarsest_n].  [n] must be
+    [coarsest_n]·2^k.  Betas default to 1; call {!set_beta} to change, then
+    the solver recomputes every level's inverse diagonal. *)
+
+val finest : t -> Level.t
+
+val set_beta : t -> (float -> float -> float -> float) -> unit
+(** Evaluate β at every level's face centres (re-discretisation, equivalent
+    to HPGMG's coefficient restriction for smooth β) and refresh [dinv]. *)
+
+val init_dinv : t -> unit
+(** Recompute the inverse-diagonal mesh on every level (run automatically
+    by {!create} and {!set_beta}). *)
+
+val smooth : t -> int -> unit
+(** One smoother application (e.g. boundaries/red/boundaries/black for
+    GSRB) on level [i]. *)
+
+val compute_residual : t -> int -> unit
+(** res ← f − A u on level [i] (boundaries applied first). *)
+
+val vcycle : t -> unit
+(** One V(smooths, smooths)-cycle starting at the finest level. *)
+
+val fcycle : t -> unit
+(** One full-multigrid F-cycle: restrict the right-hand side to every
+    level, solve coarsest, prolong + V-cycle upward (paper §V configures
+    HPGMG's default F-cycle; provided for completeness). *)
+
+val residual_norm : t -> float
+(** ‖f − A u‖₂ over the finest interior (recomputes the residual). *)
+
+val solve : ?cycles:int -> t -> float array
+(** Run V-cycles (default 10, as in the paper's benchmark configuration)
+    and return the residual norms: element 0 is the initial norm, element i
+    the norm after cycle i. *)
+
+val dof : t -> int
+(** Unknowns on the finest level. *)
+
+val profile : t -> (string * float) list
+(** Accumulated wall time per (operation, level), sorted descending —
+    HPGMG's characteristic timing breakdown.  Keys: ["smooth L<i>"],
+    ["residual L<i>"], ["restrict L<i>->L<i+1>"], ["interp L<i+1>->L<i>"],
+    ["bottom L<i>"]. *)
+
+val reset_profile : t -> unit

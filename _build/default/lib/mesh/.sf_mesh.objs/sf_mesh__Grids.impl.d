@@ -1,0 +1,1 @@
+lib/mesh/grids.ml: Hashtbl List Mesh Printf String

@@ -1,0 +1,1 @@
+lib/mesh/mesh.ml: Array Float Format Ivec Printf Random Sf_util

@@ -1,0 +1,27 @@
+type t = (string, Mesh.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (name, mesh) -> Hashtbl.replace t name mesh) bindings;
+  t
+
+let add t name mesh = Hashtbl.replace t name mesh
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Grids.find: unbound grid %S" name)
+
+let find_opt = Hashtbl.find_opt
+let mem = Hashtbl.mem
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter (fun name mesh -> Hashtbl.replace fresh name (Mesh.copy mesh)) t;
+  fresh

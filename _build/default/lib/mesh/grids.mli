@@ -1,0 +1,24 @@
+(** Named collections of meshes.
+
+    Snowflake expressions refer to grids by name ("mesh", "rhs", "beta_x",
+    ...); a [Grids.t] is the runtime binding of those names to mesh storage,
+    passed to every compiled kernel at call time. *)
+
+type t
+
+val create : unit -> t
+val of_list : (string * Mesh.t) list -> t
+
+val add : t -> string -> Mesh.t -> unit
+(** Binds (or rebinds) a name. *)
+
+val find : t -> string -> Mesh.t
+(** Raises [Not_found] with a descriptive [Invalid_argument] if unbound. *)
+
+val find_opt : t -> string -> Mesh.t option
+val mem : t -> string -> bool
+val names : t -> string list
+(** Bound names in an unspecified but deterministic order. *)
+
+val copy : t -> t
+(** Deep copy: every mesh is copied too, so kernels can be replayed. *)

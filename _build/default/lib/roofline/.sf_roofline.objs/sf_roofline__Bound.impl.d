@@ -1,0 +1,1 @@
+lib/roofline/bound.ml: List Machine Snowflake Stencil

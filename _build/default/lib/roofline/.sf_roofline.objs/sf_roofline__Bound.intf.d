@@ -1,0 +1,1 @@
+lib/roofline/bound.mli: Machine Snowflake Stencil

@@ -1,0 +1,1 @@
+lib/roofline/stream.mli:

@@ -1,0 +1,24 @@
+open Snowflake
+
+let bytes_cc_7pt = 24.
+let bytes_cc_jacobi = 40.
+let bytes_vc_gsrb = 64.
+
+let bytes_of_stencil (s : Stencil.t) =
+  let read_grids = Stencil.grids_read s in
+  let reads = 8. *. float_of_int (List.length read_grids) in
+  let write =
+    (* write-back is always paid; write-allocate only if the output was not
+       already streamed in as a read *)
+    if List.mem s.Stencil.output read_grids then 8. else 16.
+  in
+  reads +. write
+
+let stencils_per_second ~(machine : Machine.t) ~bytes_per_stencil =
+  machine.Machine.bandwidth_gbs *. 1e9 /. bytes_per_stencil
+
+let sweep_time ~machine ~bytes_per_stencil ~points =
+  float_of_int points /. stencils_per_second ~machine ~bytes_per_stencil
+
+let predict_time ~machine ?(derate = 1.) ~bytes_per_stencil ~points () =
+  derate *. sweep_time ~machine ~bytes_per_stencil ~points

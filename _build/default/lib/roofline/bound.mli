@@ -1,0 +1,38 @@
+(** Roofline performance bounds for stencil sweeps (paper §V.B).
+
+    For a memory-bound stencil the speed-of-light rate is
+    bandwidth / bytes-per-stencil; the paper's asymptotic compulsory
+    traffic figures per operator are reproduced here, together with a
+    first-principles traffic estimator derived from a stencil's grid
+    footprint under write-allocate assumptions. *)
+
+open Snowflake
+
+val bytes_cc_7pt : float
+(** 24 B: stream u in, write-allocate + write out. *)
+
+val bytes_cc_jacobi : float
+(** 40 B: u, f in; write-allocate + write; ping-pong. *)
+
+val bytes_vc_gsrb : float
+(** 64 B: u, f, dinv, three betas in; u written (paper §V.B). *)
+
+val bytes_of_stencil : Stencil.t -> float
+(** First-principles estimate: 8 B per distinct grid read (each streamed
+    once per sweep, perfect reuse of neighbouring taps), plus 8 B
+    write-allocate and 8 B write-back for the output unless it is one of
+    the read grids (in-place stencils don't pay write-allocate twice). *)
+
+val stencils_per_second : machine:Machine.t -> bytes_per_stencil:float -> float
+(** The DRAM roofline bound of Fig. 7, in stencils/s. *)
+
+val sweep_time : machine:Machine.t -> bytes_per_stencil:float -> points:int -> float
+(** Bound on one sweep over [points] stencil applications, in seconds
+    (the roofline line of Fig. 8). *)
+
+val predict_time :
+  machine:Machine.t -> ?derate:float -> bytes_per_stencil:float -> points:int ->
+  unit -> float
+(** Performance-model time for a platform this container cannot execute on:
+    the roofline bound divided by an efficiency factor ([derate] ≥ 1;
+    e.g. ~2 for the paper's OpenCL backend on the K20c). *)

@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  bandwidth_gbs : float;
+  kind : [ `Cpu | `Gpu ];
+  note : string;
+}
+
+let i7_4765t =
+  {
+    name = "Core i7-4765T";
+    bandwidth_gbs = 22.2;
+    kind = `Cpu;
+    note = "paper testbed; STREAM Triad 22.2 GB/s, 4 cores @ 2.0 GHz";
+  }
+
+let k20c =
+  {
+    name = "K20c GPU";
+    bandwidth_gbs = 127.;
+    kind = `Gpu;
+    note = "paper testbed; Empirical Roofline Toolkit 127 GB/s";
+  }
+
+let host ?(bandwidth_gbs = 10.) () =
+  {
+    name = "host";
+    bandwidth_gbs;
+    kind = `Cpu;
+    note = "this container; bandwidth from the Stream.measure dot benchmark";
+  }

@@ -1,0 +1,22 @@
+(** Machine descriptions for the Roofline model (paper §V.B).
+
+    The paper's two testbeds are reproduced as fixed descriptions; the host
+    this repository actually runs on is described by a measured STREAM
+    bandwidth (see {!Stream}). *)
+
+type t = {
+  name : string;
+  bandwidth_gbs : float;  (** read-dominated STREAM bandwidth, GB/s *)
+  kind : [ `Cpu | `Gpu ];
+  note : string;
+}
+
+val i7_4765t : t
+(** Intel Core i7-4765T: 22.2 GB/s STREAM triad (paper §V.A). *)
+
+val k20c : t
+(** NVIDIA K20c: 127 GB/s Empirical Roofline Toolkit bandwidth. *)
+
+val host : ?bandwidth_gbs:float -> unit -> t
+(** The container this code runs on; bandwidth should come from
+    {!Stream.measure} (a default of 10 GB/s is used if not supplied). *)

@@ -1,0 +1,24 @@
+let dot a b =
+  let n = min (Float.Array.length a) (Float.Array.length b) in
+  let acc = ref 0. in
+  for j = 0 to n - 1 do
+    acc := !acc +. (Float.Array.unsafe_get a j *. Float.Array.unsafe_get b j)
+  done;
+  !acc
+
+let measure ?(n = 4_000_000) ?(trials = 5) () =
+  let a = Float.Array.init n (fun i -> float_of_int (i land 7)) in
+  let b = Float.Array.init n (fun i -> float_of_int ((i lxor 5) land 7)) in
+  let sink = ref 0. in
+  (* warmup *)
+  sink := !sink +. dot a b;
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    sink := !sink +. dot a b;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  ignore (Sys.opaque_identity !sink);
+  let bytes = 16. *. float_of_int n in
+  bytes /. !best /. 1e9

@@ -1,0 +1,14 @@
+(** The modified STREAM benchmark of Fig. 6.
+
+    The paper measures the read-dominated bandwidth of each platform with a
+    dot product ([beta += a[j] * b[j]]) because stencil sweeps are
+    read-heavy.  This is the same kernel in OCaml over [floatarray]s. *)
+
+val dot : floatarray -> floatarray -> float
+(** The measured kernel itself (returns the dot product so the compiler
+    cannot discard the loads). *)
+
+val measure : ?n:int -> ?trials:int -> unit -> float
+(** Measured bandwidth in GB/s: two arrays of [n] doubles (default 4 M
+    each, far beyond cache), best of [trials] (default 5) timings, counting
+    16 bytes of traffic per iteration. *)

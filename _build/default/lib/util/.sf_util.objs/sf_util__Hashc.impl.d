@@ -1,0 +1,1 @@
+lib/util/hashc.ml: Array Hashtbl List

@@ -1,0 +1,11 @@
+let combine h1 h2 = (h1 * 1000003) lxor h2
+let combine3 h1 h2 h3 = combine (combine h1 h2) h3
+let list hash xs = List.fold_left (fun acc x -> combine acc (hash x)) 5381 xs
+
+let array hash xs =
+  Array.fold_left (fun acc x -> combine acc (hash x)) 5381 xs
+
+let pair ha hb (a, b) = combine (ha a) (hb b)
+let string = Hashtbl.hash
+let float (f : float) = Hashtbl.hash f
+let int (i : int) = Hashtbl.hash i

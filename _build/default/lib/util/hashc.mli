@@ -1,0 +1,14 @@
+(** Hash combinators for building structural hashes of DSL values.
+
+    These are used to key the JIT compile cache (see {!Sf_backends}), so the
+    requirement is stability within a process and a low collision rate; they
+    are not cryptographic. *)
+
+val combine : int -> int -> int
+val combine3 : int -> int -> int -> int
+val list : ('a -> int) -> 'a list -> int
+val array : ('a -> int) -> 'a array -> int
+val pair : ('a -> int) -> ('b -> int) -> 'a * 'b -> int
+val string : string -> int
+val float : float -> int
+val int : int -> int

@@ -1,0 +1,46 @@
+let mean xs =
+  if Array.length xs = 0 then nan
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs =
+  if Array.length xs = 0 then nan else Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then nan else Array.fold_left max xs.(0) xs
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort Float.compare c;
+  c
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else
+    let s = sorted xs in
+    if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else if n = 1 then xs.(0)
+  else begin
+    let s = sorted xs in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+  end
+
+let summary xs = (`Mean (mean xs), `Median (median xs), `Min (minimum xs))

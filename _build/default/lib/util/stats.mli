@@ -1,0 +1,22 @@
+(** Basic descriptive statistics over float samples, used by the benchmark
+    harness to summarise repeated timings. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val median : float array -> float
+(** Median (average of the two central elements for even sizes). Does not
+    modify its argument. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] with [p] in [0, 100], nearest-rank with linear
+    interpolation. Does not modify its argument. *)
+
+val summary :
+  float array -> [ `Mean of float ] * [ `Median of float ] * [ `Min of float ]
+(** Convenience bundle for harness reporting. *)

@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~headers =
+  let aligned =
+    List.mapi (fun i h -> (h, if i = 0 then Left else Right)) headers
+  in
+  { headers = aligned; rows = [] }
+
+let create_aligned ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tabular.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row t ~fmt label xs = add_row t (label :: List.map fmt xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let header_cells = List.map fst t.headers in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header_cells
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let _, align = List.nth t.headers i in
+          pad align (List.nth widths i) c)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n"
+    (render_row header_cells :: sep :: List.map render_row rows)
+
+let render_csv t =
+  let rows = List.rev t.rows in
+  let header = List.map fst t.headers in
+  String.concat "\n" (List.map (String.concat ",") (header :: rows)) ^ "\n"
+
+let print t = print_endline (render t)

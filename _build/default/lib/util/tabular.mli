@@ -1,0 +1,30 @@
+(** Minimal fixed-width ASCII table rendering for experiment output.
+
+    The benchmark harness prints each reproduced figure/table of the paper as
+    one of these tables, so rows stay greppable in [bench_output.txt]. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers; all columns right-aligned except
+    the first. *)
+
+val create_aligned : headers:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header
+    width. *)
+
+val add_float_row : t -> fmt:(float -> string) -> string -> float list -> unit
+(** [add_float_row t ~fmt label xs] adds [label :: List.map fmt xs]. *)
+
+val render : t -> string
+
+val render_csv : t -> string
+(** Comma-separated rendering (no quoting — cell text in this codebase
+    never contains commas), header row first. *)
+
+val print : t -> unit
+(** Render to stdout followed by a newline. *)

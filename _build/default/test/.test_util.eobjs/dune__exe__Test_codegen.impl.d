@@ -1,0 +1,1 @@
+test/test_codegen.ml: Affine Alcotest C_ast C_pp Component Cuda_emit Domain Expr Group Ivec List Lower Ocl_emit Omp_emit Seq_emit Sf_codegen Sf_hpgmg Sf_util Snowflake Stencil String Weights

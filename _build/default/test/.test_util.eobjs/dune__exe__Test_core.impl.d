@@ -1,0 +1,1 @@
+test/test_core.ml: Affine Alcotest Array Component Domain Dsl Expr Float Gen Grids Group Hashtbl Ivec List Mesh Option Printf QCheck QCheck_alcotest Sf_mesh Sf_util Snowflake Stencil String Weights

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Config Domain Expr Grids Group Ivec Jit Kernel List Mesh Sf_backends Sf_harness Sf_mesh Sf_util Snowflake Stencil Timer Tune

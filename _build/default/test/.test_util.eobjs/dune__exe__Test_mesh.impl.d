@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Array Float Grids Hashtbl Ivec List Mesh QCheck QCheck_alcotest Sf_mesh Sf_util

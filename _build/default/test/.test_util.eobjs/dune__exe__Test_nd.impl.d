@@ -1,0 +1,1 @@
+test/test_nd.ml: Alcotest Array Level List Mesh Mg Nd Printf Problem Sf_hpgmg Sf_mesh

@@ -1,0 +1,1 @@
+test/test_program_io.ml: Affine Alcotest Component Domain Expr Grids Group Ivec List Mesh Program_io QCheck QCheck_alcotest Result Sexp Sf_backends Sf_mesh Sf_util Snowflake Stencil Weights

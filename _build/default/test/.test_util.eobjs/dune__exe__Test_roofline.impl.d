@@ -1,0 +1,1 @@
+test/test_roofline.ml: Alcotest Bound Domain Expr Float Ivec Machine Sf_hpgmg Sf_roofline Sf_util Snowflake Stencil Stream

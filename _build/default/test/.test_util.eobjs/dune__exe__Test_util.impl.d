@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Hashc Ivec List Printf QCheck QCheck_alcotest Sf_util Stats String Tabular

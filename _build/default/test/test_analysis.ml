@@ -1,0 +1,586 @@
+open Sf_util
+open Snowflake
+open Sf_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let iv = Ivec.of_list
+
+(* --------------------------------------------------------------- Dioph *)
+
+let test_egcd () =
+  let g, x, y = Dioph.egcd 240 46 in
+  check_int "gcd" 2 g;
+  check_int "bezout" 2 ((240 * x) + (46 * y));
+  let g, _, _ = Dioph.egcd 0 0 in
+  check_int "egcd 0 0" 0 g;
+  check_int "gcd neg" 3 (Dioph.gcd (-9) 6);
+  check_int "lcm" 12 (Dioph.lcm 4 6);
+  check_int "lcm zero" 0 (Dioph.lcm 0 5)
+
+let test_solve2 () =
+  (match Dioph.solve2 ~a:3 ~b:5 ~c:1 with
+  | Some (x, y) -> check_int "3x+5y=1" 1 ((3 * x) + (5 * y))
+  | None -> Alcotest.fail "solvable reported unsolvable");
+  check_bool "unsolvable" true (Dioph.solve2 ~a:2 ~b:4 ~c:3 = None);
+  check_bool "degenerate zero" true (Dioph.solve2 ~a:0 ~b:0 ~c:0 <> None);
+  check_bool "degenerate nonzero" true (Dioph.solve2 ~a:0 ~b:0 ~c:7 = None)
+
+let test_progression_basic () =
+  let p = Dioph.progression ~start:3 ~step:4 ~count:5 in
+  check_bool "mem start" true (Dioph.mem p 3);
+  check_bool "mem last" true (Dioph.mem p 19);
+  check_bool "mem middle" true (Dioph.mem p 11);
+  check_bool "not mem off-stride" false (Dioph.mem p 4);
+  check_bool "not mem beyond" false (Dioph.mem p 23);
+  Alcotest.(check (list int)) "elements" [ 3; 7; 11; 15; 19 ]
+    (Dioph.elements p);
+  check_bool "last" true (Dioph.last p = Some 19);
+  check_bool "empty last" true
+    (Dioph.last (Dioph.progression ~start:0 ~step:1 ~count:0) = None)
+
+let test_intersect_examples () =
+  let p1 = Dioph.progression ~start:0 ~step:2 ~count:10 (* 0..18 even *) in
+  let p2 = Dioph.progression ~start:1 ~step:2 ~count:10 (* 1..19 odd *) in
+  check_bool "red/black disjoint" true (Dioph.disjoint p1 p2);
+  let p3 = Dioph.progression ~start:3 ~step:3 ~count:6 (* 3..18 by 3 *) in
+  (match Dioph.intersect p1 p3 with
+  | Some q ->
+      Alcotest.(check (list int)) "6 12 18" [ 6; 12; 18 ] (Dioph.elements q)
+  | None -> Alcotest.fail "expected intersection");
+  (* compatible residues, disjoint ranges: finite analysis must say no *)
+  let far = Dioph.progression ~start:100 ~step:2 ~count:5 in
+  check_bool "disjoint ranges" true (Dioph.disjoint p1 far)
+
+let brute_intersect p1 p2 =
+  let e2 = Dioph.elements p2 in
+  List.filter (fun x -> List.mem x e2) (Dioph.elements p1)
+
+let prog_gen =
+  QCheck.Gen.(
+    map3
+      (fun start step count -> Dioph.progression ~start ~step ~count)
+      (int_range (-30) 30) (int_range 1 7) (int_range 0 12))
+
+let prog_arb =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "{start=%d;step=%d;count=%d}" p.Dioph.start p.Dioph.step
+        p.Dioph.count)
+    prog_gen
+
+let dioph_props =
+  [
+    QCheck.Test.make ~name:"intersect matches brute force" ~count:2000
+      (QCheck.pair prog_arb prog_arb) (fun (p1, p2) ->
+        let expected = brute_intersect p1 p2 in
+        let got =
+          match Dioph.intersect p1 p2 with
+          | None -> []
+          | Some q -> Dioph.elements q
+        in
+        got = expected);
+    QCheck.Test.make ~name:"intersect commutative" ~count:1000
+      (QCheck.pair prog_arb prog_arb) (fun (p1, p2) ->
+        let norm = function None -> [] | Some q -> Dioph.elements q in
+        norm (Dioph.intersect p1 p2) = norm (Dioph.intersect p2 p1));
+    QCheck.Test.make ~name:"intersect idempotent" ~count:500 prog_arb
+      (fun p ->
+        let norm = function None -> [] | Some q -> Dioph.elements q in
+        norm (Dioph.intersect p p) = Dioph.elements p);
+    QCheck.Test.make ~name:"egcd is a Bezout identity" ~count:2000
+      QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+      (fun (a, b) ->
+        let g, x, y = Dioph.egcd a b in
+        (a * x) + (b * y) = g
+        && g >= 0
+        && (g = 0 || (a mod g = 0 && b mod g = 0)));
+  ]
+
+(* ----------------------------------------------------------- Footprint *)
+
+let test_affine_image () =
+  let r =
+    Domain.resolve_rect ~shape:(iv [ 10 ])
+      (Domain.rect ~stride:[ 2 ] ~lo:[ 1 ] ~hi:[ 8 ] ())
+  in
+  (* points 1 3 5 7; image under 2x+1 = 3 7 11 15 *)
+  let m = Affine.make ~scale:(iv [ 2 ]) ~offset:(iv [ 1 ]) in
+  let img = Footprint.affine_image m r in
+  Alcotest.(check (list (list int)))
+    "image points"
+    [ [ 3 ]; [ 7 ]; [ 11 ]; [ 15 ] ]
+    (List.map Ivec.to_list (Domain.to_list img))
+
+let test_affine_image_broadcast () =
+  let r =
+    Domain.resolve_rect ~shape:(iv [ 5 ]) (Domain.rect ~lo:[ 0 ] ~hi:[ 5 ] ())
+  in
+  let m = Affine.make ~scale:(iv [ 0 ]) ~offset:(iv [ 2 ]) in
+  let img = Footprint.affine_image m r in
+  Alcotest.(check (list (list int))) "collapsed" [ [ 2 ] ]
+    (List.map Ivec.to_list (Domain.to_list img))
+
+let resolved_rect_gen =
+  (* small 2-D strided rect within shape 12x12 *)
+  QCheck.Gen.(
+    let axis =
+      map3
+        (fun lo len s -> (lo, min 12 (lo + len), s))
+        (int_range 0 5) (int_range 0 8) (int_range 1 3)
+    in
+    map2
+      (fun (lo0, hi0, s0) (lo1, hi1, s1) ->
+        Domain.resolve_rect ~shape:(Ivec.of_list [ 12; 12 ])
+          (Domain.rect ~stride:[ s0; s1 ] ~lo:[ lo0; lo1 ] ~hi:[ hi0; hi1 ] ()))
+      axis axis)
+
+let resolved_arb =
+  QCheck.make
+    ~print:(fun r ->
+      Printf.sprintf "lo=%s hi=%s stride=%s"
+        (Ivec.to_string r.Domain.rlo)
+        (Ivec.to_string r.Domain.rhi)
+        (Ivec.to_string r.Domain.rstride))
+    resolved_rect_gen
+
+let brute_rects_intersect a b =
+  let pts_b = Domain.to_list b in
+  List.exists (fun p -> List.exists (Ivec.equal p) pts_b) (Domain.to_list a)
+
+let affine_map_gen =
+  QCheck.Gen.(
+    map2
+      (fun (s0, s1) (o0, o1) ->
+        Affine.make ~scale:(iv [ s0; s1 ]) ~offset:(iv [ o0; o1 ]))
+      (pair (int_range 0 3) (int_range 0 3))
+      (pair (int_range (-4) 4) (int_range (-4) 4)))
+
+let footprint_props =
+  [
+    QCheck.Test.make ~name:"affine_image matches point-wise mapping"
+      ~count:500
+      (QCheck.pair resolved_arb
+         (QCheck.make
+            ~print:(fun m -> Format.asprintf "%a" Affine.pp m)
+            affine_map_gen))
+      (fun (r, m) ->
+        let brute =
+          Domain.to_list r |> List.map (Affine.apply m)
+          |> List.sort_uniq Ivec.compare
+        in
+        let image =
+          Domain.to_list (Footprint.affine_image m r)
+          |> List.sort_uniq Ivec.compare
+        in
+        List.length brute = List.length image
+        && List.for_all2 Ivec.equal brute image);
+    QCheck.Test.make ~name:"rects_intersect matches brute force" ~count:800
+      (QCheck.pair resolved_arb resolved_arb) (fun (a, b) ->
+        Footprint.rects_intersect a b = brute_rects_intersect a b);
+    QCheck.Test.make ~name:"intersection count matches brute force" ~count:400
+      (QCheck.pair resolved_arb resolved_arb) (fun (a, b) ->
+        let brute =
+          let pts_b = Domain.to_list b in
+          List.length
+            (List.filter
+               (fun p -> List.exists (Ivec.equal p) pts_b)
+               (Domain.to_list a))
+        in
+        Footprint.rects_intersection_count a b = brute);
+  ]
+
+(* ---------------------------------------------------- Dependence: GSRB *)
+
+let shape2 = iv [ 10; 10 ]
+
+let vc_gsrb_color color =
+  (* in-place 5-point stencil over one colour of the checkerboard *)
+  let w =
+    Weights.of_nested
+      (Weights.A
+         [
+           A [ W 0.; W 0.25; W 0. ];
+           A [ W 0.25; W 0.; W 0.25 ];
+           A [ W 0.; W 0.25; W 0. ];
+         ])
+  in
+  let expr = Component.to_expr ~grid:"mesh" w in
+  Stencil.make
+    ~label:(if color = 0 then "red" else "black")
+    ~output:"mesh" ~expr
+    ~domain:(Domain.colored 2 ~ghost:1 ~color ~ncolors:2)
+    ()
+
+let test_gsrb_color_point_parallel () =
+  (* one colour sweep reads only the other colour: point-parallel *)
+  check_bool "red parallel" true
+    (Dependence.point_parallel ~shape:shape2 (vc_gsrb_color 0));
+  check_bool "black parallel" true
+    (Dependence.point_parallel ~shape:shape2 (vc_gsrb_color 1))
+
+let test_full_gauss_seidel_not_parallel () =
+  let w =
+    Weights.of_nested
+      (Weights.A
+         [
+           A [ W 0.; W 0.25; W 0. ];
+           A [ W 0.25; W 0.; W 0.25 ];
+           A [ W 0.; W 0.25; W 0. ];
+         ])
+  in
+  let s =
+    Stencil.make ~label:"gs" ~output:"mesh"
+      ~expr:(Component.to_expr ~grid:"mesh" w)
+      ~domain:(Domain.interior 2 ~ghost:1)
+      ()
+  in
+  check_bool "full GS not parallel" false
+    (Dependence.point_parallel ~shape:shape2 s);
+  check_int "4 conflicting offsets" 4
+    (List.length (Dependence.self_conflicts ~shape:shape2 s))
+
+let test_jacobi_out_of_place_parallel () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  let s =
+    Stencil.make ~label:"jacobi" ~output:"out"
+      ~expr:(Component.to_expr ~grid:"u" w)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  check_bool "parallel" true (Dependence.point_parallel ~shape:(iv [ 20 ]) s)
+
+let test_red_black_cross_dependence () =
+  let red = vc_gsrb_color 0 and black = vc_gsrb_color 1 in
+  (* black reads red's writes: RAW; black also writes cells red read: WAR *)
+  let ks = Dependence.conflicts ~shape:shape2 ~before:red ~after:black in
+  check_bool "raw present" true (List.mem Dependence.Raw ks);
+  check_bool "war present" true (List.mem Dependence.War ks);
+  check_bool "no waw (disjoint colours)" false (List.mem Dependence.Waw ks)
+
+let test_boundary_interior_independence () =
+  (* Two edge stencils on opposite faces touch disjoint finite lattices and
+     are independent — the finite-domain property an infinite-interval
+     analysis cannot see (paper §III, §VI). *)
+  let interior =
+    Stencil.make ~label:"interior" ~output:"out"
+      ~expr:(Expr.read "mesh" (iv [ 0; 0 ]))
+      ~domain:(Domain.interior 2 ~ghost:1)
+      ()
+  in
+  let top_boundary =
+    (* writes row 0 from row 1: ghost <- -interior_edge *)
+    Stencil.make ~label:"top" ~output:"mesh"
+      ~expr:(Expr.neg (Expr.read "mesh" (iv [ 1; 0 ])))
+      ~domain:(Domain.of_rect (Domain.rect ~lo:[ 0; 1 ] ~hi:[ 1; -1 ] ()))
+      ()
+  in
+  let bottom_boundary =
+    Stencil.make ~label:"bottom" ~output:"mesh"
+      ~expr:(Expr.neg (Expr.read "mesh" (iv [ -1; 0 ])))
+      ~domain:(Domain.of_rect (Domain.rect ~lo:[ -1; 1 ] ~hi:[ 0; -1 ] ()))
+      ()
+  in
+  check_bool "opposite edges independent" true
+    (Dependence.independent ~shape:shape2 top_boundary bottom_boundary);
+  (* interior stencil reads only the interior: independent of the top edge *)
+  check_bool "ghost-only writes vs interior reads" true
+    (Dependence.independent ~shape:shape2 top_boundary interior)
+
+let test_restriction_footprint () =
+  (* coarse(x) = avg fine(2x + o): non-unit-scale reads analysed exactly *)
+  let expr =
+    Expr.(
+      (read_affine "fine" (Affine.make ~scale:(iv [ 2 ]) ~offset:(iv [ 0 ]))
+      +: read_affine "fine" (Affine.make ~scale:(iv [ 2 ]) ~offset:(iv [ 1 ]))
+      )
+      *: const 0.5)
+  in
+  let s =
+    Stencil.make ~label:"restrict" ~output:"coarse" ~expr
+      ~domain:(Domain.of_rect (Domain.rect ~lo:[ 0 ] ~hi:[ 4 ] ()))
+      ()
+  in
+  let reads = Footprint.read_footprint ~shape:(iv [ 4 ]) s in
+  match reads with
+  | [ ("fine", lattices) ] ->
+      (* coarse iteration 0..3 reads fine 0..7: both even and odd lattices *)
+      let all =
+        List.concat_map Domain.to_list lattices
+        |> List.map (fun p -> p.(0))
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list int))
+        "fine cells read"
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        all
+  | _ -> Alcotest.fail "unexpected read footprint"
+
+let test_check_in_bounds () =
+  let s =
+    Stencil.make ~label:"lap" ~output:"out"
+      ~expr:Expr.(read "u" (iv [ -1 ]) +: read "u" (iv [ 1 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let grid_shape _ = iv [ 8 ] in
+  check_bool "fits" true
+    (Footprint.check_in_bounds ~shape:(iv [ 8 ]) ~grid_shape s = Ok ());
+  (* same stencil over the full domain escapes *)
+  let bad =
+    Stencil.make ~label:"lap-bad" ~output:"out"
+      ~expr:Expr.(read "u" (iv [ -1 ]) +: read "u" (iv [ 1 ]))
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  check_bool "escapes" true
+    (match Footprint.check_in_bounds ~shape:(iv [ 8 ]) ~grid_shape bad with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_union_self_disjoint () =
+  check_bool "red union disjoint" true
+    (Footprint.union_self_disjoint ~shape:shape2 (vc_gsrb_color 0));
+  let overlapping =
+    Stencil.make ~label:"overlap" ~output:"o" ~expr:(Expr.const 1.)
+      ~domain:
+        Domain.(
+          of_rect (rect ~lo:[ 0 ] ~hi:[ 5 ] ())
+          ++ of_rect (rect ~lo:[ 3 ] ~hi:[ 8 ] ()))
+      ()
+  in
+  check_bool "overlapping union detected" false
+    (Footprint.union_self_disjoint ~shape:(iv [ 10 ]) overlapping)
+
+(* ------------------------------------------------------------ Schedule *)
+
+let dirichlet_boundaries_2d () =
+  (* four edge stencils writing the ghost ring *)
+  let mk label lo hi off =
+    Stencil.make ~label ~output:"mesh"
+      ~expr:(Expr.neg (Expr.read "mesh" (iv off)))
+      ~domain:(Domain.of_rect (Domain.rect ~lo ~hi ()))
+      ()
+  in
+  [
+    mk "top" [ 0; 1 ] [ 1; -1 ] [ 1; 0 ];
+    mk "bottom" [ -1; 1 ] [ 0; -1 ] [ -1; 0 ];
+    mk "left" [ 1; 0 ] [ -1; 1 ] [ 0; 1 ];
+    mk "right" [ 1; -1 ] [ -1; 0 ] [ 0; -1 ];
+  ]
+
+let test_waves_boundaries_parallel () =
+  (* 4 independent edges + red (depends on edges) + black *)
+  let group =
+    Group.make ~label:"smooth"
+      (dirichlet_boundaries_2d () @ [ vc_gsrb_color 0; vc_gsrb_color 1 ])
+  in
+  let waves = Schedule.greedy_waves ~shape:shape2 group in
+  check_int "three waves" 3 (List.length waves);
+  Alcotest.(check (list int)) "edges together" [ 0; 1; 2; 3 ]
+    (List.nth waves 0);
+  Alcotest.(check (list int)) "red alone" [ 4 ] (List.nth waves 1);
+  Alcotest.(check (list int)) "black alone" [ 5 ] (List.nth waves 2)
+
+let test_waves_cover_all () =
+  let group =
+    Group.make ~label:"smooth"
+      (dirichlet_boundaries_2d () @ [ vc_gsrb_color 0; vc_gsrb_color 1 ])
+  in
+  let waves = Schedule.greedy_waves ~shape:shape2 group in
+  Alcotest.(check (list int)) "concat is program order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.concat waves)
+
+let test_dag_build () =
+  let group = Group.make ~label:"g" [ vc_gsrb_color 0; vc_gsrb_color 1 ] in
+  let dag = Schedule.build_dag ~shape:shape2 group in
+  check_int "one edge" 1 (List.length dag.Schedule.edges);
+  Alcotest.(check (list int)) "preds of black" [ 0 ]
+    (Schedule.predecessors dag 1);
+  Alcotest.(check (list int)) "succs of red" [ 1 ] (Schedule.successors dag 0);
+  let waves = Schedule.dag_waves dag in
+  check_int "two levels" 2 (List.length waves)
+
+let test_dead_elimination () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  let dead =
+    Stencil.make ~label:"dead" ~output:"scratch"
+      ~expr:(Component.to_expr ~grid:"u" w)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let live =
+    Stencil.make ~label:"live" ~output:"out"
+      ~expr:(Component.to_expr ~grid:"u" w)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let group = Group.make ~label:"g" [ dead; live ] in
+  Alcotest.(check (list int)) "dead detected" [ 0 ]
+    (Schedule.dead_stencils ~shape:(iv [ 10 ]) ~live:[ "out" ] group);
+  let cleaned =
+    Schedule.eliminate_dead ~shape:(iv [ 10 ]) ~live:[ "out" ] group
+  in
+  check_int "one left" 1 (Group.length cleaned);
+  (* chain: a feeds b, b unread: both die *)
+  let a =
+    Stencil.make ~label:"a" ~output:"t1"
+      ~expr:(Component.to_expr ~grid:"u" w)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let b =
+    Stencil.make ~label:"b" ~output:"t2"
+      ~expr:(Component.to_expr ~grid:"t1" w)
+      ~domain:(Domain.interior 1 ~ghost:2)
+      ()
+  in
+  let chain = Group.make ~label:"chain" [ a; b; live ] in
+  let cleaned =
+    Schedule.eliminate_dead ~shape:(iv [ 10 ]) ~live:[ "out" ] chain
+  in
+  check_int "chain collapsed" 1 (Group.length cleaned)
+
+let test_fusion () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  let dom = Domain.interior 1 ~ghost:1 in
+  let s1 =
+    Stencil.make ~label:"s1" ~output:"tmp"
+      ~expr:(Component.to_expr ~grid:"u" w)
+      ~domain:dom ()
+  in
+  let s2 =
+    Stencil.make ~label:"s2" ~output:"out"
+      ~expr:Expr.(read "tmp" (iv [ 0 ]) *: const 2.)
+      ~domain:dom ()
+  in
+  check_bool "fusable" true (Schedule.can_fuse ~shape:(iv [ 10 ]) s1 s2);
+  let fused = Schedule.fuse s1 s2 in
+  Alcotest.(check (list string)) "fused reads u only" [ "u" ]
+    (Stencil.grids_read fused);
+  (* reading tmp at nonzero offset blocks fusion *)
+  let s3 =
+    Stencil.make ~label:"s3" ~output:"out"
+      ~expr:Expr.(read "tmp" (iv [ 1 ]))
+      ~domain:dom ()
+  in
+  check_bool "offset read blocks" false
+    (Schedule.can_fuse ~shape:(iv [ 10 ]) s1 s3)
+
+(* ------------------------------------------------------------ validate *)
+
+let test_validate_clean_group () =
+  let group =
+    Group.make ~label:"smooth"
+      (dirichlet_boundaries_2d () @ [ vc_gsrb_color 0; vc_gsrb_color 1 ])
+  in
+  let issues =
+    Validate.group ~shape:shape2 ~grid_shape:(fun _ -> shape2) group
+  in
+  Alcotest.(check (list string)) "no findings" []
+    (List.map Validate.issue_to_string issues)
+
+let test_validate_findings () =
+  let oob =
+    Stencil.make ~label:"oob" ~output:"out"
+      ~expr:Expr.(read "u" (iv [ -1; 0 ]))
+      ~domain:(Domain.interior 2 ~ghost:0)
+      ()
+  in
+  let overlap =
+    Stencil.make ~label:"overlap" ~output:"out" ~expr:(Expr.const 1.)
+      ~domain:
+        Domain.(
+          of_rect (rect ~lo:[ 0; 0 ] ~hi:[ 5; 5 ] ())
+          ++ of_rect (rect ~lo:[ 3; 3 ] ~hi:[ 8; 8 ] ()))
+      ()
+  in
+  let serial =
+    Stencil.make ~label:"serial" ~output:"u"
+      ~expr:Expr.(read "u" (iv [ 1; 0 ]) *: param "lam")
+      ~domain:(Domain.interior 2 ~ghost:1)
+      ()
+  in
+  let issues =
+    Validate.group ~shape:shape2
+      ~grid_shape:(fun _ -> shape2)
+      ~params:[ "other" ]
+      (Group.make ~label:"bad" [ oob; overlap; serial ])
+  in
+  let has pred = List.exists pred issues in
+  check_bool "oob found" true
+    (has (function Validate.Out_of_bounds { stencil = "oob"; _ } -> true | _ -> false));
+  check_bool "overlap found" true
+    (has (function
+      | Validate.Overlapping_union { stencil = "overlap" } -> true
+      | _ -> false));
+  check_bool "serial found (warning)" true
+    (has (function
+      | Validate.Sequential_in_place { stencil = "serial"; _ } -> true
+      | _ -> false));
+  check_bool "unbound param found" true
+    (has (function
+      | Validate.Unbound_param { param = "lam"; _ } -> true
+      | _ -> false));
+  (* severity split *)
+  check_bool "oob is error" true
+    (List.for_all
+       (fun i ->
+         match i with
+         | Validate.Out_of_bounds _ | Validate.Unbound_param _ ->
+             Validate.is_error i
+         | _ -> not (Validate.is_error i))
+       issues)
+
+let () =
+  Alcotest.run "sf_analysis"
+    [
+      ( "dioph",
+        [
+          Alcotest.test_case "egcd" `Quick test_egcd;
+          Alcotest.test_case "solve2" `Quick test_solve2;
+          Alcotest.test_case "progression" `Quick test_progression_basic;
+          Alcotest.test_case "intersect examples" `Quick
+            test_intersect_examples;
+        ] );
+      ("dioph-props", List.map QCheck_alcotest.to_alcotest dioph_props);
+      ( "footprint",
+        [
+          Alcotest.test_case "affine image" `Quick test_affine_image;
+          Alcotest.test_case "broadcast image" `Quick
+            test_affine_image_broadcast;
+          Alcotest.test_case "restriction reads" `Quick
+            test_restriction_footprint;
+          Alcotest.test_case "in bounds" `Quick test_check_in_bounds;
+          Alcotest.test_case "union self disjoint" `Quick
+            test_union_self_disjoint;
+        ] );
+      ("footprint-props", List.map QCheck_alcotest.to_alcotest footprint_props);
+      ( "dependence",
+        [
+          Alcotest.test_case "gsrb colour parallel" `Quick
+            test_gsrb_color_point_parallel;
+          Alcotest.test_case "full GS not parallel" `Quick
+            test_full_gauss_seidel_not_parallel;
+          Alcotest.test_case "jacobi parallel" `Quick
+            test_jacobi_out_of_place_parallel;
+          Alcotest.test_case "red-black RAW/WAR" `Quick
+            test_red_black_cross_dependence;
+          Alcotest.test_case "boundary vs interior" `Quick
+            test_boundary_interior_independence;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "boundary wave" `Quick
+            test_waves_boundaries_parallel;
+          Alcotest.test_case "waves cover all" `Quick test_waves_cover_all;
+          Alcotest.test_case "dag" `Quick test_dag_build;
+          Alcotest.test_case "dead elimination" `Quick test_dead_elimination;
+          Alcotest.test_case "fusion" `Quick test_fusion;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "clean group" `Quick test_validate_clean_group;
+          Alcotest.test_case "findings" `Quick test_validate_findings;
+        ] );
+    ]

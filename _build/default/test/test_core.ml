@@ -1,0 +1,573 @@
+open Sf_util
+open Snowflake
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-12))
+let iv = Ivec.of_list
+
+(* -------------------------------------------------------------- Affine *)
+
+let test_affine_basic () =
+  let id = Affine.identity 2 in
+  check_bool "identity" true (Affine.is_identity id);
+  Alcotest.(check (list int)) "apply id" [ 3; 4 ]
+    (Ivec.to_list (Affine.apply id (iv [ 3; 4 ])));
+  let m = Affine.make ~scale:(iv [ 2; 2 ]) ~offset:(iv [ 1; 0 ]) in
+  Alcotest.(check (list int)) "apply scaled" [ 7; 8 ]
+    (Ivec.to_list (Affine.apply m (iv [ 3; 4 ])));
+  check_bool "not identity" false (Affine.is_identity m);
+  check_bool "not unit scale" false (Affine.is_unit_scale m)
+
+let test_affine_shift () =
+  let m = Affine.make ~scale:(iv [ 2 ]) ~offset:(iv [ 1 ]) in
+  let shifted = Affine.shift m (iv [ 3 ]) in
+  (* x ↦ m(x+3) = 2x + 7 *)
+  Alcotest.(check (list int)) "shift composes" [ 7 ]
+    (Ivec.to_list (Affine.apply shifted (iv [ 0 ])));
+  Alcotest.(check (list int)) "shift composes at 1" [ 9 ]
+    (Ivec.to_list (Affine.apply shifted (iv [ 1 ])))
+
+let test_affine_invalid () =
+  (try
+     ignore (Affine.make ~scale:(iv [ -1 ]) ~offset:(iv [ 0 ]));
+     Alcotest.fail "negative scale accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Affine.make ~scale:(iv [ 1; 1 ]) ~offset:(iv [ 0 ]));
+    Alcotest.fail "rank mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- Expr *)
+
+let test_expr_eval () =
+  let open Expr in
+  let e = (read "a" (iv [ 1 ]) +: const 2.) *: param "k" in
+  let read _ m = float_of_int m.Affine.offset.(0) in
+  let params = function "k" -> 10. | _ -> 0. in
+  check_float "eval" 30. (eval e ~read ~params)
+
+let test_expr_simplify () =
+  let open Expr in
+  let r = read "a" (iv [ 0 ]) in
+  check_bool "x+0" true (equal (simplify (r +: const 0.)) r);
+  check_bool "0+x" true (equal (simplify (const 0. +: r)) r);
+  check_bool "x*1" true (equal (simplify (r *: const 1.)) r);
+  check_bool "x*0" true (equal (simplify (r *: const 0.)) (const 0.));
+  check_bool "x*-1" true (equal (simplify (r *: const (-1.))) (neg r));
+  check_bool "--x" true (equal (simplify (neg (neg r))) r);
+  check_bool "const fold" true
+    (equal (simplify (const 2. +: const 3.)) (const 5.));
+  check_bool "x-0" true (equal (simplify (r -: const 0.)) r);
+  check_bool "x/1" true (equal (simplify (r /: const 1.)) r)
+
+let test_expr_shift () =
+  let open Expr in
+  let e = read "a" (iv [ 1; 0 ]) +: read "b" (iv [ 0; 0 ]) in
+  let shifted = shift (iv [ 0; 1 ]) e in
+  match reads shifted with
+  | [ ("a", ma); ("b", mb) ] ->
+      Alcotest.(check (list int)) "a shifted" [ 1; 1 ]
+        (Ivec.to_list ma.Affine.offset);
+      Alcotest.(check (list int)) "b shifted" [ 0; 1 ]
+        (Ivec.to_list mb.Affine.offset)
+  | _ -> Alcotest.fail "unexpected reads"
+
+let test_expr_queries () =
+  let open Expr in
+  let e =
+    (read "b" (iv [ 0 ]) *: param "alpha") +: (read "a" (iv [ 1 ]) -: param "beta")
+  in
+  Alcotest.(check (list string)) "grids" [ "a"; "b" ] (grids e);
+  Alcotest.(check (list string)) "params" [ "alpha"; "beta" ] (params e);
+  check_int "dims" 1 (Option.get (dims e));
+  check_int "reads count" 2 (List.length (reads e));
+  (* duplicate reads deduplicate *)
+  let e2 = read "a" (iv [ 1 ]) +: read "a" (iv [ 1 ]) in
+  check_int "dedup" 1 (List.length (reads e2))
+
+let test_expr_hash_equal () =
+  let open Expr in
+  let e1 = read "a" (iv [ 1 ]) +: const 2. in
+  let e2 = read "a" (iv [ 1 ]) +: const 2. in
+  check_bool "structural equal" true (equal e1 e2);
+  check_int "hash equal" (hash e1) (hash e2);
+  check_bool "different" false (equal e1 (read "a" (iv [ 2 ]) +: const 2.))
+
+(* ------------------------------------------------------------- Weights *)
+
+let test_weights_1d () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  check_int "npoints" 3 (Weights.npoints w);
+  check_int "dims" 1 (Weights.dims w);
+  check_int "radius" 1 (Weights.radius w);
+  Alcotest.(check (list (list int))) "support" [ [ -1 ]; [ 0 ]; [ 1 ] ]
+    (List.map Ivec.to_list (Weights.support w))
+
+let test_weights_2d () =
+  (* 3x3 with zero corners: the 5-point stencil *)
+  let w =
+    Weights.of_nested
+      (Weights.A
+         [
+           A [ W 0.; W 1.; W 0. ];
+           A [ W 1.; W (-4.); W 1. ];
+           A [ W 0.; W 1.; W 0. ];
+         ])
+  in
+  check_int "zeros dropped" 5 (Weights.npoints w);
+  check_int "dims" 2 (Weights.dims w);
+  (match Weights.find w (iv [ 0; 0 ]) with
+  | Some (Expr.Const c) -> check_float "center" (-4.) c
+  | _ -> Alcotest.fail "center missing");
+  check_bool "corner dropped" true (Weights.find w (iv [ 1; 1 ]) = None)
+
+let test_weights_ragged () =
+  try
+    ignore (Weights.of_nested (Weights.A [ A [ W 1. ]; A [ W 1.; W 2. ] ]));
+    Alcotest.fail "ragged accepted"
+  with Invalid_argument _ -> ()
+
+let test_weights_sparse () =
+  let w =
+    Weights.of_alist
+      [ ([ 0; 0 ], Expr.const 2.); ([ 0; 0 ], Expr.const 3.); ([ 1; 0 ], Expr.const 1.) ]
+  in
+  check_int "merged npoints" 2 (Weights.npoints w);
+  match Weights.find w (iv [ 0; 0 ]) with
+  | Some (Expr.Const c) -> check_float "duplicates summed" 5. c
+  | _ -> Alcotest.fail "missing entry"
+
+let test_weights_add () =
+  let a = Weights.of_alist [ ([ 0 ], Expr.const 1.) ] in
+  let b = Weights.of_alist [ ([ 0 ], Expr.const (-1.)); ([ 1 ], Expr.const 2.) ] in
+  let c = Weights.add a b in
+  (* 0-offset entries cancel to zero and are dropped *)
+  check_int "cancelled" 1 (Weights.npoints c);
+  check_bool "kept" true (Weights.find c (iv [ 1 ]) <> None)
+
+let test_weights_even_extent_center () =
+  (* extent 2 → centre index 1: offsets -1 and 0 *)
+  let w = Weights.of_nested (Weights.A [ W 1.; W 2. ]) in
+  Alcotest.(check (list (list int))) "support" [ [ -1 ]; [ 0 ] ]
+    (List.map Ivec.to_list (Weights.support w))
+
+(* ----------------------------------------------------------- Component *)
+
+let test_component_expr () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  let e = Component.to_expr ~grid:"u" w in
+  let read _ m = float_of_int (10 + m.Affine.offset.(0)) in
+  (* 9 - 2*10 + 11 = 0 *)
+  check_float "laplacian of linear" 0.
+    (Expr.eval e ~read ~params:(fun _ -> 0.))
+
+let test_component_nested_variable_coefficient () =
+  (* flux-style: weight at +1 is itself a component reading beta — the beta
+     read must be shifted to the neighbour. *)
+  let beta_here = Component.to_expr ~grid:"beta" (Weights.scalar 1. 1) in
+  let w =
+    Weights.of_alist [ ([ 1 ], beta_here) ]
+  in
+  let e = Component.to_expr ~grid:"u" w in
+  (* e at x = beta(x+1) * u(x+1) *)
+  match Expr.reads e with
+  | reads ->
+      let beta_read =
+        List.find (fun (g, _) -> g = "beta") reads |> snd
+      in
+      Alcotest.(check (list int)) "beta read shifted" [ 1 ]
+        (Ivec.to_list beta_read.Affine.offset)
+
+(* -------------------------------------------------------------- Domain *)
+
+let test_domain_resolve () =
+  let r = Domain.rect ~lo:[ 1; 1 ] ~hi:[ -1; -1 ] () in
+  let res = Domain.resolve_rect ~shape:(iv [ 6; 8 ]) r in
+  Alcotest.(check (list int)) "lo" [ 1; 1 ] (Ivec.to_list res.Domain.rlo);
+  Alcotest.(check (list int)) "hi" [ 5; 7 ] (Ivec.to_list res.Domain.rhi);
+  check_int "npoints" 24 (Domain.npoints res)
+
+let test_domain_stride_counts () =
+  let r = Domain.rect ~stride:[ 2 ] ~lo:[ 1 ] ~hi:[ -1 ] () in
+  let res = Domain.resolve_rect ~shape:(iv [ 8 ]) r in
+  (* points 1 3 5 *)
+  check_int "count" 3 (Domain.npoints res);
+  Alcotest.(check (list (list int))) "points" [ [ 1 ]; [ 3 ]; [ 5 ] ]
+    (List.map Ivec.to_list (Domain.to_list res))
+
+let test_domain_mem () =
+  let r = Domain.rect ~stride:[ 2; 1 ] ~lo:[ 1; 0 ] ~hi:[ 6; 3 ] () in
+  let res = Domain.resolve_rect ~shape:(iv [ 10; 10 ]) r in
+  check_bool "mem yes" true (Domain.mem res (iv [ 3; 2 ]));
+  check_bool "mem wrong stride" false (Domain.mem res (iv [ 2; 2 ]));
+  check_bool "mem out of range" false (Domain.mem res (iv [ 7; 2 ]))
+
+let test_domain_iter_matches_to_list () =
+  let r = Domain.rect ~stride:[ 2; 3 ] ~lo:[ 0; 1 ] ~hi:[ 5; 9 ] () in
+  let res = Domain.resolve_rect ~shape:(iv [ 10; 10 ]) r in
+  let count = ref 0 in
+  Domain.iter res (fun p ->
+      incr count;
+      if not (Domain.mem res p) then Alcotest.fail "iter escaped lattice");
+  check_int "iter count = npoints" (Domain.npoints res) !count
+
+let test_domain_negative_bounds_empty () =
+  (* lo resolves above hi → empty, not an error *)
+  let r = Domain.rect ~lo:[ 3 ] ~hi:[ 2 ] () in
+  let res = Domain.resolve_rect ~shape:(iv [ 8 ]) r in
+  check_bool "empty" true (Domain.is_empty res)
+
+let test_domain_escape_rejected () =
+  let r = Domain.rect ~lo:[ -9 ] ~hi:[ 4 ] () in
+  try
+    ignore (Domain.resolve_rect ~shape:(iv [ 4 ]) r);
+    Alcotest.fail "escape accepted"
+  with Invalid_argument _ -> ()
+
+let test_domain_colored_partition () =
+  (* red+black over the interior must partition it exactly *)
+  let shape = iv [ 7; 9 ] in
+  let interior = Domain.interior 2 ~ghost:1 in
+  let red = Domain.colored 2 ~ghost:1 ~color:0 ~ncolors:2 in
+  let black = Domain.colored 2 ~ghost:1 ~color:1 ~ncolors:2 in
+  let n_int =
+    Domain.npoints_union (Domain.resolve ~shape interior)
+  in
+  let n_red = Domain.npoints_union (Domain.resolve ~shape red) in
+  let n_black = Domain.npoints_union (Domain.resolve ~shape black) in
+  check_int "partition size" n_int (n_red + n_black);
+  (* every red point has even coordinate sum *)
+  List.iter
+    (fun rect ->
+      Domain.iter rect (fun p ->
+          if (p.(0) + p.(1)) mod 2 <> 0 then
+            Alcotest.fail "red point with odd colour"))
+    (Domain.resolve ~shape red);
+  List.iter
+    (fun rect ->
+      Domain.iter rect (fun p ->
+          if (p.(0) + p.(1)) mod 2 <> 1 then
+            Alcotest.fail "black point with even colour"))
+    (Domain.resolve ~shape black)
+
+let test_domain_colored_3d_four_colors () =
+  let shape = iv [ 9; 9; 9 ] in
+  let total = ref 0 in
+  for color = 0 to 3 do
+    let d = Domain.colored 3 ~ghost:1 ~color ~ncolors:4 in
+    List.iter
+      (fun rect ->
+        Domain.iter rect (fun p ->
+            let s = p.(0) + p.(1) + p.(2) in
+            if ((s mod 4) + 4) mod 4 <> color then
+              Alcotest.fail "wrong colour class");
+        total := !total + Domain.npoints rect)
+      (Domain.resolve ~shape d)
+  done;
+  check_int "4-colour partition" (7 * 7 * 7) !total
+
+let test_domain_union_translate () =
+  let d =
+    Domain.(of_rect (rect ~lo:[ 0 ] ~hi:[ 2 ] ()) ++ of_rect (rect ~lo:[ 4 ] ~hi:[ 6 ] ()))
+  in
+  check_int "union length" 2 (List.length d);
+  let t = Domain.translate (iv [ 1 ]) d in
+  let res = Domain.resolve ~shape:(iv [ 10 ]) t in
+  Alcotest.(check (list (list int))) "translated" [ [ 1 ]; [ 2 ] ]
+    (List.map Ivec.to_list (Domain.to_list (List.hd res)))
+
+(* ------------------------------------------------------------- Stencil *)
+
+let laplace_1d () =
+  let w = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  Stencil.make ~label:"lap1d" ~output:"out"
+    ~expr:(Component.to_expr ~grid:"u" w)
+    ~domain:(Domain.interior 1 ~ghost:1)
+    ()
+
+let test_stencil_queries () =
+  let s = laplace_1d () in
+  check_int "dims" 1 (Stencil.dims s);
+  check_int "radius" 1 (Stencil.radius s);
+  check_bool "out of place" false (Stencil.is_in_place s);
+  Alcotest.(check (list string)) "grids" [ "out"; "u" ] (Stencil.grids s);
+  let in_place = Stencil.rename_output s "u" in
+  check_bool "in place" true (Stencil.is_in_place in_place)
+
+let test_stencil_rank_mismatch () =
+  try
+    ignore
+      (Stencil.make ~output:"o"
+         ~expr:(Expr.read "u" (iv [ 0; 0 ]))
+         ~domain:(Domain.interior 1 ~ghost:0)
+         ());
+    Alcotest.fail "rank mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_stencil_empty_domain () =
+  try
+    ignore (Stencil.make ~output:"o" ~expr:(Expr.const 0.) ~domain:[] ());
+    Alcotest.fail "empty domain accepted"
+  with Invalid_argument _ -> ()
+
+let test_group () =
+  let s = laplace_1d () in
+  let g = Group.make ~label:"g" [ s; Stencil.rename_output s "u" ] in
+  check_int "length" 2 (Group.length g);
+  check_int "dims" 1 (Group.dims g);
+  Alcotest.(check (list string)) "grids" [ "out"; "u" ] (Group.grids g);
+  let g2 = Group.append g g in
+  check_int "append" 4 (Group.length g2)
+
+(* ----------------------------------------------------------------- Dsl *)
+
+let test_dsl_weights () =
+  check_int "star taps" 5 (Weights.npoints (Dsl.star_weights ~dims:2 ~center:1. ~arm:2.));
+  check_int "laplacian taps 3d" 7 (Weights.npoints (Dsl.laplacian_weights ~dims:3));
+  (match Weights.find (Dsl.laplacian_weights ~dims:3) (iv [ 0; 0; 0 ]) with
+  | Some (Expr.Const c) -> check_float "center" (-6.) c
+  | _ -> Alcotest.fail "no center");
+  check_int "box taps" 27 (Weights.npoints (Dsl.box_weights ~dims:3 ~radius:1 ~weight:1.));
+  (* blur weights sum to 1 *)
+  let total =
+    List.fold_left
+      (fun acc (_, e) ->
+        match e with Expr.Const c -> acc +. c | _ -> acc)
+      0.
+      (Weights.entries (Dsl.box_blur_weights ~dims:2 ~radius:1))
+  in
+  check_float "blur normalised" 1. total;
+  check_int "offsets_within" 25 (List.length (Dsl.offsets_within ~dims:2 ~radius:2))
+
+let run_faces_2d stencils grid_value =
+  let open Sf_mesh in
+  let shape = iv [ 6; 6 ] in
+  let m = Mesh.create_init shape grid_value in
+  let grids = Grids.of_list [ ("g", m) ] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun rect ->
+          Domain.iter rect (fun p ->
+              let v =
+                Expr.eval s.Stencil.expr
+                  ~read:(fun name map ->
+                    Mesh.get (Grids.find grids name) (Affine.apply map p))
+                  ~params:(fun _ -> 0.)
+              in
+              Mesh.set m (Affine.apply s.Stencil.out_map p) v))
+        (Domain.resolve ~shape s.Stencil.domain))
+    stencils;
+  m
+
+let test_dsl_boundary_families () =
+  let open Sf_mesh in
+  let base p = float_of_int ((10 * p.(0)) + p.(1)) in
+  (* periodic: ghost row 0 must equal interior row 4 *)
+  let m =
+    run_faces_2d (Dsl.periodic_faces ~dims:2 ~interior:4 ~grid:"g") base
+  in
+  check_float "periodic low wraps" (base [| 4; 2 |]) (Mesh.get m [| 0; 2 |]);
+  check_float "periodic high wraps" (base [| 1; 3 |]) (Mesh.get m [| 5; 3 |]);
+  check_float "periodic axis 1" (base [| 2; 4 |]) (Mesh.get m [| 2; 0 |]);
+  (* neumann: ghost equals first interior *)
+  let m = run_faces_2d (Dsl.neumann_faces ~dims:2 ~grid:"g") base in
+  check_float "neumann" (base [| 1; 2 |]) (Mesh.get m [| 0; 2 |]);
+  (* dirichlet: ghost = -interior *)
+  let m = run_faces_2d (Dsl.dirichlet_faces ~dims:2 ~grid:"g") base in
+  check_float "dirichlet" (-.base [| 1; 2 |]) (Mesh.get m [| 0; 2 |])
+
+let test_dsl_star_equals_component_laplacian () =
+  (* the Dsl laplacian weights and a hand-built component must denote the
+     same expression semantics *)
+  let w1 = Dsl.laplacian_weights ~dims:1 in
+  let w2 = Weights.of_nested (Weights.A [ W 1.; W (-2.); W 1. ]) in
+  check_bool "1-d laplacian weights equal" true (Weights.equal w1 w2)
+
+(* ------------------------------------------------ qcheck properties *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        (float_range (-4.) 4. >|= fun c -> Expr.Const c);
+        ( pair (oneofl [ "u"; "v" ]) (pair (int_range (-2) 2) (int_range (-2) 2))
+        >|= fun (g, (a, b)) -> Expr.read g (iv [ a; b ]) );
+        (oneofl [ "p"; "q" ] >|= fun p -> Expr.Param p);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 4,
+            let* a = go (depth - 1) and* b = go (depth - 1) in
+            oneofl Expr.[ a +: b; a -: b; a *: b; a /: b ] );
+          (1, go (depth - 1) >|= Expr.neg);
+        ]
+  in
+  go 3
+
+let expr_arb = QCheck.make ~print:Expr.to_string expr_gen
+
+let read_value g (m : Affine.t) =
+  float_of_int ((Hashtbl.hash (g, Ivec.to_list m.Affine.offset) land 255) - 128)
+  /. 64.
+
+let param_value p = if p = "p" then 1.25 else -0.5
+
+let core_props =
+  [
+    QCheck.Test.make ~name:"simplify preserves evaluation" ~count:800 expr_arb
+      (fun e ->
+        let v1 = Expr.eval e ~read:read_value ~params:param_value in
+        let v2 =
+          Expr.eval (Expr.simplify e) ~read:read_value ~params:param_value
+        in
+        (Float.is_nan v1 && Float.is_nan v2)
+        || v1 = v2
+        || Float.abs (v1 -. v2) /. Float.max 1. (Float.abs v1) < 1e-12);
+    QCheck.Test.make ~name:"simplify is idempotent" ~count:400 expr_arb
+      (fun e ->
+        let s = Expr.simplify e in
+        Expr.equal s (Expr.simplify s));
+    QCheck.Test.make ~name:"rename_grids composes" ~count:300 expr_arb
+      (fun e ->
+        let f g = g ^ "!" in
+        let renamed = Expr.rename_grids f e in
+        List.for_all
+          (fun (g, _) -> String.length g > 0 && g.[String.length g - 1] = '!')
+          (Expr.reads renamed)
+        && Expr.equal
+             (Expr.rename_grids (fun g -> g) e)
+             e);
+    QCheck.Test.make ~name:"shift composes additively" ~count:300
+      (QCheck.pair expr_arb
+         (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3)))
+      (fun (e, (a, b)) ->
+        Expr.equal
+          (Expr.shift (iv [ a; b ]) e)
+          (Expr.shift (iv [ a; 0 ]) (Expr.shift (iv [ 0; b ]) e)));
+    QCheck.Test.make ~name:"colored classes partition the interior"
+      ~count:200
+      QCheck.(
+        make
+          ~print:(fun (d, nc, g, e) ->
+            Printf.sprintf "dims=%d ncolors=%d ghost=%d extent=%d" d nc g e)
+          Gen.(
+            let* d = int_range 1 3 in
+            let* nc = int_range 1 3 in
+            let* g = int_range 0 2 in
+            let* e = int_range (2 * (g + 1)) 9 in
+            return (d, nc, g, e)))
+      (fun (d, nc, ghost, extent) ->
+        let shape = Ivec.make d extent in
+        let interior_pts =
+          Domain.npoints_union (Domain.resolve ~shape (Domain.interior d ~ghost))
+        in
+        let class_pts =
+          List.init nc (fun color ->
+              Domain.npoints_union
+                (Domain.resolve ~shape (Domain.colored d ~ghost ~color ~ncolors:nc)))
+        in
+        (* classes are disjoint by residue, so sizes must sum to the
+           interior *)
+        List.fold_left ( + ) 0 class_pts = interior_pts);
+    QCheck.Test.make ~name:"weights: nested = alist for constant taps"
+      ~count:200
+      QCheck.(
+        make
+          ~print:(fun ws -> String.concat "," (List.map string_of_float ws))
+          Gen.(list_size (return 9) (float_range (-2.) 2.)))
+      (fun ws ->
+        let arr = Array.of_list ws in
+        let nested =
+          Weights.of_nested
+            (Weights.A
+               (List.init 3 (fun i ->
+                    Weights.A
+                      (List.init 3 (fun j -> Weights.W arr.((3 * i) + j))))))
+        in
+        let alist =
+          Weights.of_alist
+            (List.concat_map
+               (fun i ->
+                 List.map
+                   (fun j ->
+                     ([ i - 1; j - 1 ], Expr.const arr.((3 * i) + j)))
+                   [ 0; 1; 2 ])
+               [ 0; 1; 2 ])
+        in
+        Weights.equal nested alist);
+  ]
+
+let () =
+  Alcotest.run "snowflake-core"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "basic" `Quick test_affine_basic;
+          Alcotest.test_case "shift" `Quick test_affine_shift;
+          Alcotest.test_case "invalid" `Quick test_affine_invalid;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "simplify" `Quick test_expr_simplify;
+          Alcotest.test_case "shift" `Quick test_expr_shift;
+          Alcotest.test_case "queries" `Quick test_expr_queries;
+          Alcotest.test_case "hash/equal" `Quick test_expr_hash_equal;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "1d" `Quick test_weights_1d;
+          Alcotest.test_case "2d" `Quick test_weights_2d;
+          Alcotest.test_case "ragged" `Quick test_weights_ragged;
+          Alcotest.test_case "sparse" `Quick test_weights_sparse;
+          Alcotest.test_case "add" `Quick test_weights_add;
+          Alcotest.test_case "even extent" `Quick
+            test_weights_even_extent_center;
+        ] );
+      ( "component",
+        [
+          Alcotest.test_case "laplacian" `Quick test_component_expr;
+          Alcotest.test_case "nested VC" `Quick
+            test_component_nested_variable_coefficient;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "resolve" `Quick test_domain_resolve;
+          Alcotest.test_case "stride counts" `Quick test_domain_stride_counts;
+          Alcotest.test_case "mem" `Quick test_domain_mem;
+          Alcotest.test_case "iter" `Quick test_domain_iter_matches_to_list;
+          Alcotest.test_case "empty" `Quick test_domain_negative_bounds_empty;
+          Alcotest.test_case "escape rejected" `Quick
+            test_domain_escape_rejected;
+          Alcotest.test_case "red-black partition" `Quick
+            test_domain_colored_partition;
+          Alcotest.test_case "4-colour 3d" `Quick
+            test_domain_colored_3d_four_colors;
+          Alcotest.test_case "union/translate" `Quick
+            test_domain_union_translate;
+        ] );
+      ( "stencil",
+        [
+          Alcotest.test_case "queries" `Quick test_stencil_queries;
+          Alcotest.test_case "rank mismatch" `Quick test_stencil_rank_mismatch;
+          Alcotest.test_case "empty domain" `Quick test_stencil_empty_domain;
+        ] );
+      ("group", [ Alcotest.test_case "basic" `Quick test_group ]);
+      ( "dsl",
+        [
+          Alcotest.test_case "weight constructors" `Quick test_dsl_weights;
+          Alcotest.test_case "boundary families" `Quick
+            test_dsl_boundary_families;
+          Alcotest.test_case "laplacian weights" `Quick
+            test_dsl_star_equals_component_laplacian;
+        ] );
+      ("core-props", List.map QCheck_alcotest.to_alcotest core_props);
+    ]

@@ -1,0 +1,220 @@
+open Sf_util
+open Sf_mesh
+open Snowflake
+open Sf_analysis
+open Sf_backends
+open Sf_hpgmg
+open Sf_distributed
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_structure () =
+  let t = Spmd.create ~rank_grid:[ 2; 2 ] ~local_n:4 in
+  check_int "ranks" 4 (List.length (Spmd.ranks t));
+  (* per exchange: 4 ranks x 2 axes x 2 sides *)
+  check_int "exchange stencils" 16
+    (List.length (Spmd.exchange_stencils t ~base:"u"));
+  let group = Spmd.gsrb_smooth_group t in
+  check_int "smooth group size" ((2 * 16) + (2 * 4)) (Group.length group);
+  Alcotest.(check string) "rank naming" "u@1_0"
+    (Spmd.rank_name "u" (Ivec.of_list [ 1; 0 ]))
+
+let test_waves () =
+  (* all communication of one exchange forms a single wave: halo copies and
+     physical BCs are mutually independent; then all red sweeps together,
+     then the second exchange, then black *)
+  let t = Spmd.create ~rank_grid:[ 2; 2 ] ~local_n:4 in
+  let group = Spmd.gsrb_smooth_group t in
+  let waves = Schedule.greedy_waves ~shape:t.Spmd.shape group in
+  check_int "four waves" 4 (List.length waves);
+  Alcotest.(check (list int)) "wave sizes" [ 16; 4; 16; 4 ]
+    (List.map List.length waves)
+
+let test_plan_conflict_free () =
+  let t = Spmd.create ~rank_grid:[ 2; 2 ] ~local_n:4 in
+  let group = Spmd.gsrb_smooth_group t in
+  match
+    Schedule_check.check_waves
+      (Schedule_check.openmp_plan Config.default ~shape:t.Spmd.shape group)
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "spmd plan conflict: %s" msg
+
+(* Reference single-domain run of the same (rank-unqualified) groups on a
+   possibly non-cubic global box. *)
+let single_domain ~dims ~extents =
+  let shape = Array.map (fun n -> n + 2) extents in
+  let grids = Grids.create () in
+  List.iter
+    (fun base ->
+      let m = Mesh.create shape in
+      if String.length base >= 5 && String.sub base 0 5 = "beta_" then
+        Mesh.fill m 1.;
+      Grids.add grids base m)
+    ([ "u"; "f"; "res"; "tmp"; "dinv" ]
+    @ List.init dims (fun a -> Nd.beta_name a));
+  (shape, grids)
+
+let beta_fn coords =
+  1. +. (0.3 *. Array.fold_left (fun acc x -> acc *. sin ((3. *. x) +. 0.5)) 1. coords)
+
+let f_fn coords = Array.fold_left (fun acc x -> acc +. (x *. x)) (-0.7) coords
+let u_fn coords = Array.fold_left (fun acc x -> acc +. sin (5. *. x)) 0.2 coords
+
+let setup_pair ~rank_grid ~local_n =
+  let t = Spmd.create ~rank_grid ~local_n in
+  let dims = List.length rank_grid in
+  let extents =
+    Array.of_list (List.map (fun r -> r * local_n) rank_grid)
+  in
+  let shape, grids = single_domain ~dims ~extents in
+  (* identical problem data on both sides, via global coordinates *)
+  let h = 1. /. float_of_int extents.(0) in
+  Spmd.set_beta t beta_fn;
+  Spmd.fill_interior t ~base:"f" f_fn;
+  Spmd.fill_interior t ~base:"u" u_fn;
+  (* single-domain side *)
+  let cell p = Array.map (fun i -> (float_of_int i -. 0.5) *. h) p in
+  let iter_interior fn =
+    Domain.iter
+      (Domain.resolve_rect ~shape
+         (Domain.rect
+            ~lo:(List.init dims (fun _ -> 1))
+            ~hi:(List.init dims (fun _ -> -1))
+            ()))
+      fn
+  in
+  iter_interior (fun p ->
+      Mesh.set (Grids.find grids "f") p (f_fn (cell p));
+      Mesh.set (Grids.find grids "u") p (u_fn (cell p)));
+  List.iteri
+    (fun axis _ ->
+      Mesh.fill_with (Grids.find grids (Nd.beta_name axis)) (fun p ->
+          let coords =
+            Array.mapi
+              (fun a i ->
+                if a = axis then float_of_int (i - 1) *. h
+                else (float_of_int i -. 0.5) *. h)
+              p
+          in
+          beta_fn coords))
+    rank_grid;
+  let params = Spmd.params t in
+  let run_single group =
+    (Jit.compile Jit.Compiled ~shape group).Kernel.run ~params grids
+  in
+  run_single (Group.make ~label:"dinv1" [ Nd.dinv_setup ~dims ]);
+  (t, grids, run_single)
+
+let test_smooth_matches_single_domain_2d () =
+  let t, grids, run_single = setup_pair ~rank_grid:[ 2; 2 ] ~local_n:8 in
+  let dims = 2 in
+  for _ = 1 to 3 do
+    (Jit.compile Jit.Compiled ~shape:t.Spmd.shape (Spmd.gsrb_smooth_group t)).Kernel.run
+      ~params:(Spmd.params t) t.Spmd.grids;
+    run_single (Nd.gsrb_smooth ~dims)
+  done;
+  let gathered = Spmd.gather t ~base:"u" in
+  (* compare interiors only: gathered ghosts are zero while the
+     single-domain ghosts hold boundary-condition values *)
+  let single = Grids.find grids "u" in
+  let d = ref 0. in
+  Domain.iter
+    (Domain.resolve_rect ~shape:(Mesh.shape single)
+       (Domain.rect ~lo:[ 1; 1 ] ~hi:[ -1; -1 ] ()))
+    (fun p ->
+      d := Float.max !d (Float.abs (Mesh.get gathered p -. Mesh.get single p)));
+  check_bool (Printf.sprintf "2-d smooth agrees (diff %.2e)" !d) true
+    (!d < 1e-12)
+
+let test_residual_matches_single_domain_3d_noncubic () =
+  (* a non-cubic 2x1x2 rank grid: global 8x4x8 box *)
+  let t, grids, run_single = setup_pair ~rank_grid:[ 2; 1; 2 ] ~local_n:4 in
+  let dims = 3 in
+  (Jit.compile Jit.Compiled ~shape:t.Spmd.shape (Spmd.residual_group t)).Kernel.run
+    ~params:(Spmd.params t) t.Spmd.grids;
+  run_single
+    (Group.make ~label:"res1"
+       (Nd.boundaries ~dims ~grid:"u" @ [ Nd.residual_vc ~dims ]));
+  let gathered = Spmd.gather t ~base:"res" in
+  let single = Grids.find grids "res" in
+  let d = ref 0. in
+  Domain.iter
+    (Domain.resolve_rect ~shape:(Mesh.shape single)
+       (Domain.rect ~lo:[ 1; 1; 1 ] ~hi:[ -1; -1; -1 ] ()))
+    (fun p ->
+      d := Float.max !d (Float.abs (Mesh.get gathered p -. Mesh.get single p)));
+  check_bool (Printf.sprintf "3-d residual agrees (diff %.2e)" !d) true
+    (!d < 1e-12)
+
+let test_distributed_relaxation_converges () =
+  let t = Spmd.create ~rank_grid:[ 2; 2 ] ~local_n:8 in
+  Spmd.set_beta t (fun _ -> 1.);
+  Spmd.fill_interior t ~base:"f" (fun c ->
+      Nd.rhs_sine ~dims:2 c);
+  let smooth =
+    Jit.compile Jit.Compiled ~shape:t.Spmd.shape (Spmd.gsrb_smooth_group t)
+  in
+  let residual =
+    Jit.compile Jit.Compiled ~shape:t.Spmd.shape (Spmd.residual_group t)
+  in
+  let res_norm () =
+    residual.Kernel.run ~params:(Spmd.params t) t.Spmd.grids;
+    Mesh.norm_l2 (Spmd.gather t ~base:"res")
+  in
+  let r0 = res_norm () in
+  for _ = 1 to 300 do
+    smooth.Kernel.run ~params:(Spmd.params t) t.Spmd.grids
+  done;
+  let r1 = res_norm () in
+  check_bool
+    (Printf.sprintf "distributed relaxation converged (%.2e -> %.2e)" r0 r1)
+    true
+    (r1 < r0 /. 1e4)
+
+let test_gather_scatter_roundtrip () =
+  let t = Spmd.create ~rank_grid:[ 3; 2 ] ~local_n:4 in
+  let global = Mesh.random ~seed:9 [| 14; 10 |] in
+  Spmd.scatter t ~base:"u" global;
+  let back = Spmd.gather t ~base:"u" in
+  let d = ref 0. in
+  Domain.iter
+    (Domain.resolve_rect ~shape:[| 14; 10 |]
+       (Domain.rect ~lo:[ 1; 1 ] ~hi:[ -1; -1 ] ()))
+    (fun p -> d := Float.max !d (Float.abs (Mesh.get back p -. Mesh.get global p)));
+  check_bool "roundtrip" true (!d = 0.)
+
+let test_create_validation () =
+  (try
+     ignore (Spmd.create ~rank_grid:[ 2; 0 ] ~local_n:4);
+     Alcotest.fail "zero rank accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Spmd.create ~rank_grid:[ 2 ] ~local_n:3);
+    Alcotest.fail "odd local_n accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "sf_distributed"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "counts and names" `Quick test_structure;
+          Alcotest.test_case "communication waves" `Quick test_waves;
+          Alcotest.test_case "plan conflict-free" `Quick
+            test_plan_conflict_free;
+          Alcotest.test_case "gather/scatter" `Quick
+            test_gather_scatter_roundtrip;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "2-d smooth = single domain" `Quick
+            test_smooth_matches_single_domain_2d;
+          Alcotest.test_case "3-d residual = single domain" `Quick
+            test_residual_matches_single_domain_3d_noncubic;
+          Alcotest.test_case "relaxation converges" `Quick
+            test_distributed_relaxation_converges;
+        ] );
+    ]

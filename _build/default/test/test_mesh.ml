@@ -1,0 +1,167 @@
+open Sf_util
+open Sf_mesh
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-12))
+let iv = Ivec.of_list
+
+let test_create () =
+  let m = Mesh.create (iv [ 3; 4 ]) in
+  check_int "size" 12 (Mesh.size m);
+  check_int "dims" 2 (Mesh.dims m);
+  Alcotest.(check (list int)) "shape" [ 3; 4 ] (Ivec.to_list (Mesh.shape m));
+  Alcotest.(check (list int)) "strides" [ 4; 1 ]
+    (Ivec.to_list (Mesh.strides m));
+  check_float "zero init" 0. (Mesh.get m (iv [ 2; 3 ]))
+
+let test_create_invalid () =
+  Alcotest.check_raises "empty shape"
+    (Invalid_argument "Mesh.create: empty shape") (fun () ->
+      ignore (Mesh.create [||]));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Mesh.create: non-positive extent") (fun () ->
+      ignore (Mesh.create (iv [ 3; 0 ])))
+
+let test_get_set () =
+  let m = Mesh.create (iv [ 2; 3; 4 ]) in
+  Mesh.set m (iv [ 1; 2; 3 ]) 42.;
+  check_float "readback" 42. (Mesh.get m (iv [ 1; 2; 3 ]));
+  check_int "flat index" 23 (Mesh.flat_index m (iv [ 1; 2; 3 ]));
+  check_float "flat readback" 42. (Mesh.get_flat m 23);
+  check_bool "in bounds" true (Mesh.in_bounds m (iv [ 1; 2; 3 ]));
+  check_bool "out of bounds" false (Mesh.in_bounds m (iv [ 1; 2; 4 ]));
+  check_bool "negative oob" false (Mesh.in_bounds m (iv [ -1; 0; 0 ]))
+
+let test_bounds_checked () =
+  let m = Mesh.create (iv [ 2; 2 ]) in
+  (try
+     ignore (Mesh.get m (iv [ 2; 0 ]));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    Mesh.set m (iv [ 0; -1 ]) 0.;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_fill_with () =
+  let m =
+    Mesh.create_init (iv [ 3; 3 ]) (fun p -> float_of_int ((10 * p.(0)) + p.(1)))
+  in
+  check_float "corner" 0. (Mesh.get m (iv [ 0; 0 ]));
+  check_float "mid" 11. (Mesh.get m (iv [ 1; 1 ]));
+  check_float "last" 22. (Mesh.get m (iv [ 2; 2 ]))
+
+let test_iteri_order () =
+  let m = Mesh.create_init (iv [ 2; 2 ]) (fun p -> float_of_int ((2 * p.(0)) + p.(1))) in
+  let seen = ref [] in
+  Mesh.iteri m (fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list (float 0.))) "row major" [ 0.; 1.; 2.; 3. ]
+    (List.rev !seen)
+
+let test_copy_blit () =
+  let a = Mesh.random ~seed:7 (iv [ 4; 4 ]) in
+  let b = Mesh.copy a in
+  check_bool "copy equal" true (Mesh.equal_approx a b);
+  Mesh.set b (iv [ 0; 0 ]) 99.;
+  check_bool "copy independent" false (Mesh.equal_approx a b);
+  let c = Mesh.create (iv [ 4; 4 ]) in
+  Mesh.blit ~src:a ~dst:c;
+  check_bool "blit equal" true (Mesh.equal_approx a c)
+
+let test_reductions () =
+  let a = Mesh.create_init (iv [ 2; 2 ]) (fun p -> float_of_int (p.(0) + p.(1))) in
+  (* values 0 1 1 2 *)
+  check_float "sum" 4. (Mesh.sum a);
+  check_float "mean" 1. (Mesh.mean a);
+  check_float "linf" 2. (Mesh.norm_linf a);
+  check_float "l2" (sqrt 6.) (Mesh.norm_l2 a);
+  check_float "dot self" 6. (Mesh.dot a a)
+
+let test_axpy_scale () =
+  let x = Mesh.create_init (iv [ 3 ]) (fun p -> float_of_int p.(0)) in
+  let y = Mesh.create_init (iv [ 3 ]) (fun _ -> 1.) in
+  Mesh.axpy ~alpha:2. ~x ~y;
+  check_float "axpy" 5. (Mesh.get y (iv [ 2 ]));
+  Mesh.scale_inplace y 0.5;
+  check_float "scale" 2.5 (Mesh.get y (iv [ 2 ]))
+
+let test_max_abs_diff () =
+  let a = Mesh.create (iv [ 2; 2 ]) and b = Mesh.create (iv [ 2; 2 ]) in
+  Mesh.set b (iv [ 1; 1 ]) 0.5;
+  check_float "diff" 0.5 (Mesh.max_abs_diff a b);
+  check_bool "tol pass" true (Mesh.equal_approx ~tol:0.6 a b);
+  check_bool "tol fail" false (Mesh.equal_approx ~tol:0.4 a b)
+
+let test_random_deterministic () =
+  let a = Mesh.random ~seed:3 (iv [ 5; 5 ]) in
+  let b = Mesh.random ~seed:3 (iv [ 5; 5 ]) in
+  check_bool "same seed same mesh" true (Mesh.equal_approx a b);
+  let c = Mesh.random ~seed:4 (iv [ 5; 5 ]) in
+  check_bool "different seed" false (Mesh.equal_approx a c)
+
+let test_grids () =
+  let g = Grids.create () in
+  Grids.add g "mesh" (Mesh.create (iv [ 2; 2 ]));
+  Grids.add g "rhs" (Mesh.create (iv [ 2; 2 ]));
+  check_bool "mem" true (Grids.mem g "mesh");
+  check_bool "not mem" false (Grids.mem g "nope");
+  Alcotest.(check (list string)) "names" [ "mesh"; "rhs" ] (Grids.names g);
+  (try
+     ignore (Grids.find g "nope");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let g2 = Grids.copy g in
+  Mesh.set (Grids.find g2 "mesh") (iv [ 0; 0 ]) 5.;
+  check_float "deep copy isolated" 0.
+    (Mesh.get (Grids.find g "mesh") (iv [ 0; 0 ]))
+
+let mesh_props =
+  let shape_gen =
+    QCheck.Gen.(list_size (int_range 1 3) (int_range 1 6) >|= Ivec.of_list)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun s -> Ivec.to_string s)
+      shape_gen
+  in
+  [
+    QCheck.Test.make ~name:"flat index bijective" ~count:100 arb (fun shape ->
+        let m = Mesh.create shape in
+        let seen = Hashtbl.create 64 in
+        let ok = ref true in
+        Mesh.iteri m (fun p _ ->
+            let f = Mesh.flat_index m p in
+            if Hashtbl.mem seen f then ok := false;
+            Hashtbl.replace seen f ();
+            if f < 0 || f >= Mesh.size m then ok := false);
+        !ok && Hashtbl.length seen = Mesh.size m);
+    QCheck.Test.make ~name:"sum matches iteri accumulation" ~count:50 arb
+      (fun shape ->
+        let m = Mesh.random ~seed:(Ivec.hash shape land 0xffff) shape in
+        let acc = ref 0. in
+        Mesh.iteri m (fun _ v -> acc := !acc +. v);
+        Float.abs (!acc -. Mesh.sum m) < 1e-9);
+  ]
+
+let () =
+  Alcotest.run "sf_mesh"
+    [
+      ( "mesh",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+          Alcotest.test_case "fill_with" `Quick test_fill_with;
+          Alcotest.test_case "iteri order" `Quick test_iteri_order;
+          Alcotest.test_case "copy/blit" `Quick test_copy_blit;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "axpy/scale" `Quick test_axpy_scale;
+          Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+          Alcotest.test_case "random deterministic" `Quick
+            test_random_deterministic;
+        ] );
+      ("grids", [ Alcotest.test_case "bindings" `Quick test_grids ]);
+      ("mesh-props", List.map QCheck_alcotest.to_alcotest mesh_props);
+    ]
