@@ -8,7 +8,7 @@
               [--workers N] [--repeats N] [--csv DIR]
    command: all (default) | stream | fig7 | fig8 | fig9 | tiling
             | multicolor | waves | fusion | autotune | distributed | verify | codegen
-            | micro *)
+            | micro | pool *)
 
 open Sf_harness
 
@@ -131,6 +131,7 @@ let () =
   | "verify" -> Experiments.run_verify opts
   | "codegen" -> Experiments.run_codegen opts
   | "micro" -> run_micro ()
+  | "pool" -> Experiments.run_pool opts
   | other ->
       Printf.eprintf "unknown command %S\n" other;
       exit 2);

@@ -90,7 +90,10 @@ let backend_arg =
   Arg.(value & opt string "compiled" & info [ "backend" ] ~doc:"interp | compiled | openmp | opencl")
 
 let workers_arg =
-  Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Parallel degree for the pool-backed backends.")
+  Arg.(
+    value
+    & opt int Config.default_workers
+    & info [ "workers" ] ~doc:"Parallel degree for the pool-backed backends (default $(b,SF_WORKERS)).")
 
 let variable_arg =
   Arg.(value & flag & info [ "variable" ] ~doc:"Variable-coefficient problem (beta from Problem.beta_smooth).")

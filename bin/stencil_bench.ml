@@ -80,7 +80,11 @@ let op_arg =
 
 let n_arg = Arg.(value & opt int 32 & info [ "n"; "size" ] ~doc:"Interior size per axis.")
 let backend_arg = Arg.(value & opt string "openmp" & info [ "backend" ] ~doc:"Backend name.")
-let workers_arg = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Pool degree.")
+let workers_arg =
+  Arg.(
+    value
+    & opt int Config.default_workers
+    & info [ "workers" ] ~doc:"Pool degree (default $(b,SF_WORKERS)).")
 let repeats_arg = Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timing repeats (best-of).")
 
 let tile_arg =

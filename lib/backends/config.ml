@@ -10,13 +10,25 @@ type t = {
   validate : bool;
   fuse : bool;
   dce : dce;
+  serial_cutoff : int;
 }
 
 and dce = No_dce | Dce of string list
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> default)
+  | None -> default
+
+let default_workers = env_int "SF_WORKERS" 1
+let default_serial_cutoff = env_int "SF_SERIAL_CUTOFF" 1024
+
 let default =
   {
-    workers = 1;
+    workers = default_workers;
     tile = None;
     chunks = 8;
     tall_skinny = (8, 64);
@@ -25,6 +37,7 @@ let default =
     validate = true;
     fuse = false;
     dce = No_dce;
+    serial_cutoff = default_serial_cutoff;
   }
 
 let with_workers workers t = { t with workers }

@@ -24,13 +24,26 @@ type t = {
           domain) *)
   dce : dce;
       (** dead-stencil elimination before scheduling *)
+  serial_cutoff : int;
+      (** waves whose total point count falls below this run inline on the
+          calling domain instead of being dispatched to the pool — the
+          adaptive serial fallback that keeps coarse multigrid levels from
+          paying dispatch latency for a handful of points *)
 }
 
 and dce = No_dce | Dce of string list  (** live output grids *)
 
+val default_workers : int
+(** [SF_WORKERS] from the environment, else 1. *)
+
+val default_serial_cutoff : int
+(** [SF_SERIAL_CUTOFF] from the environment, else 1024 points (an 8^3
+    multigrid level stays inline; 16^3 and up go parallel). *)
+
 val default : t
-(** Sequential-friendly defaults: [workers = 1], no explicit tile,
-    [chunks = 8], tall-skinny [8 x 64], multicolor off, greedy waves,
-    validation on, no fusion, no DCE. *)
+(** Sequential-friendly defaults: [workers] = {!default_workers}, no
+    explicit tile, [chunks = 8], tall-skinny [8 x 64], multicolor off,
+    greedy waves, validation on, no fusion, no DCE,
+    [serial_cutoff] = {!default_serial_cutoff}. *)
 
 val with_workers : int -> t -> t

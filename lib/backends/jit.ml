@@ -16,17 +16,29 @@ let registry :
     (string, Config.t -> shape:Ivec.t -> Group.t -> Kernel.t) Hashtbl.t =
   Hashtbl.create 8
 
+(* Kernels may be compiled from worker domains (e.g. a task JIT-compiling a
+   sub-kernel), so the registry, the compile cache and its counters must be
+   race-free: one mutex around the tables, atomics for the counters. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let backend_of_string = function
   | "interp" -> Some Interp
   | "compiled" -> Some Compiled
   | "openmp" -> Some Openmp
   | "opencl" -> Some Opencl
-  | name -> if Hashtbl.mem registry name then Some (Custom name) else None
+  | name ->
+      if locked (fun () -> Hashtbl.mem registry name) then Some (Custom name)
+      else None
 
 let all_backends = [ Interp; Compiled; Openmp; Opencl ]
 
 let registered_backends () =
-  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  locked (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) registry [])
   |> List.sort String.compare
 
 type key = {
@@ -37,8 +49,8 @@ type key = {
 }
 
 let cache : (key, Kernel.t) Hashtbl.t = Hashtbl.create 64
-let hits = ref 0
-let misses = ref 0
+let hits = Atomic.make 0
+let misses = Atomic.make 0
 
 let compile ?(config = Config.default) backend ~shape group =
   let key =
@@ -49,12 +61,14 @@ let compile ?(config = Config.default) backend ~shape group =
       config;
     }
   in
-  match Hashtbl.find_opt cache key with
+  match locked (fun () -> Hashtbl.find_opt cache key) with
   | Some kernel ->
-      incr hits;
+      Atomic.incr hits;
       kernel
   | None ->
-      incr misses;
+      Atomic.incr misses;
+      (* compile outside the lock: lowering can be slow and must not stall
+         concurrent lookups of unrelated kernels *)
       let group = Passes.optimize config ~shape group in
       let kernel =
         match backend with
@@ -63,15 +77,19 @@ let compile ?(config = Config.default) backend ~shape group =
         | Openmp -> Openmp_backend.compile config ~shape group
         | Opencl -> Opencl_backend.compile config ~shape group
         | Custom name -> (
-            match Hashtbl.find_opt registry name with
+            match locked (fun () -> Hashtbl.find_opt registry name) with
             | Some compiler -> compiler config ~shape group
             | None ->
                 invalid_arg
                   (Printf.sprintf "Jit.compile: unknown custom backend %S"
                      name))
       in
-      Hashtbl.replace cache key kernel;
-      kernel
+      locked (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some existing -> existing (* a racing compile won: keep one *)
+          | None ->
+              Hashtbl.replace cache key kernel;
+              kernel)
 
 let compile_stencil ?config backend ~shape stencil =
   compile ?config backend ~shape
@@ -81,12 +99,13 @@ let register_backend ~name compiler =
   if List.mem name builtin_names then
     invalid_arg
       (Printf.sprintf "Jit.register_backend: %S is a built-in backend" name);
-  if Hashtbl.mem registry name then Hashtbl.reset cache;
-  Hashtbl.replace registry name compiler
+  locked (fun () ->
+      if Hashtbl.mem registry name then Hashtbl.reset cache;
+      Hashtbl.replace registry name compiler)
 
-let cache_stats () = (!hits, !misses)
+let cache_stats () = (Atomic.get hits, Atomic.get misses)
 
 let clear_cache () =
-  Hashtbl.reset cache;
-  hits := 0;
-  misses := 0
+  locked (fun () -> Hashtbl.reset cache);
+  Atomic.set hits 0;
+  Atomic.set misses 0

@@ -4,7 +4,13 @@
     chosen micro-compiler and memoises the result — the paper's "call-ables
     are cached, for subsequent use".  The cache key is structural (group
     hash × shape × backend × options), so rebuilding an equal group from
-    scratch still hits. *)
+    scratch still hits.
+
+    Compilation is thread-safe: the cache, the custom-backend registry and
+    the hit/miss counters may be used from any domain (e.g. a pool task
+    JIT-compiling a sub-kernel).  Two domains racing to compile the same
+    key may both lower it, but exactly one kernel is retained and returned
+    to both. *)
 
 open Sf_util
 open Snowflake

@@ -37,7 +37,11 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
   let enqueues =
     List.map (plan_stencil cfg ~shape) (Group.stencils group)
   in
-  let pool = Pool.create ~workers:cfg.Config.workers in
+  (* a view of the shared persistent domain pool (compute units) *)
+  let pool =
+    Pool.create ~workers:cfg.Config.workers
+    |> Pool.with_serial_cutoff cfg.Config.serial_cutoff
+  in
   let description =
     Printf.sprintf
       "opencl: %d enqueue(s); tall-skinny %dx%d; %d compute unit(s)"
@@ -62,13 +66,15 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
                 Exec.prepare_compiled grids ~params:lookup e.stencil
               in
               let thunks = List.map instantiate e.work_groups in
-              if e.parallel_ok then `Parallel (Array.of_list thunks)
+              if e.parallel_ok then
+                `Parallel
+                  (Domain.npoints_union e.work_groups, Array.of_list thunks)
               else `Sequential (fun () -> List.iter (fun f -> f ()) thunks))
             enqueues)
     in
     List.iter
       (function
-        | `Parallel tasks -> Pool.run_tasks pool tasks
+        | `Parallel (points, tasks) -> Pool.run_tasks ~points pool tasks
         | `Sequential f -> f ())
       launches
   in

@@ -6,7 +6,9 @@
    tasks are farmed to the pool and joined — the join is the OpenMP
    barrier.  Stencils the analysis cannot prove point-parallel run as a
    single sequential task, preserving the in-place sequential semantics
-   while still overlapping with independent stencils of the same wave. *)
+   while still overlapping with independent stencils of the same wave.
+   Waves below the configured point-count cutoff run inline on the calling
+   domain (coarse multigrid levels are cheaper serial than dispatched). *)
 
 open Snowflake
 open Sf_analysis
@@ -43,8 +45,14 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
   let shape = Array.copy shape in
   let stencils = Array.of_list (Group.stencils group) in
   let plans = Array.map (plan_stencil cfg ~shape) stencils in
+  let plan_points = Array.map (fun p -> Domain.npoints_union p.tiles) plans in
   let waves = waves_of cfg ~shape group in
-  let pool = Pool.create ~workers:cfg.Config.workers in
+  (* a view of the process-wide persistent domain pool: every kernel shares
+     the same hot workers, capped here at the configured degree *)
+  let pool =
+    Pool.create ~workers:cfg.Config.workers
+    |> Pool.with_serial_cutoff cfg.Config.serial_cutoff
+  in
   let description =
     Format.asprintf "openmp: %d stencil(s) in %d wave(s); %d worker(s)@ %a"
       (Array.length stencils) (List.length waves) (Pool.workers pool)
@@ -62,19 +70,27 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               plans;
           List.map
             (fun wave ->
-              List.concat_map
-                (fun idx ->
-                  let p = plans.(idx) in
-                  let instantiate =
-                    Exec.prepare_compiled grids ~params:lookup p.stencil
-                  in
-                  let thunks = List.map instantiate p.tiles in
-                  if p.parallel_ok then thunks
-                  else [ (fun () -> List.iter (fun f -> f ()) thunks) ])
-                wave
-              |> Array.of_list)
+              let points =
+                List.fold_left (fun acc idx -> acc + plan_points.(idx)) 0 wave
+              in
+              let tasks =
+                List.concat_map
+                  (fun idx ->
+                    let p = plans.(idx) in
+                    let instantiate =
+                      Exec.prepare_compiled grids ~params:lookup p.stencil
+                    in
+                    let thunks = List.map instantiate p.tiles in
+                    if p.parallel_ok then thunks
+                    else [ (fun () -> List.iter (fun f -> f ()) thunks) ])
+                  wave
+                |> Array.of_list
+              in
+              (points, tasks))
             waves)
     in
-    List.iter (Pool.run_tasks pool) task_waves
+    List.iter
+      (fun (points, tasks) -> Pool.run_tasks ~points pool tasks)
+      task_waves
   in
   Kernel.make ~name:group.Group.label ~backend:"openmp" ~description run

@@ -1,41 +1,259 @@
-type t = { workers : int }
+(* Persistent work-sharing domain pool.
 
-let create ~workers = { workers = max 1 workers }
-let workers t = t.workers
-let sequential = { workers = 1 }
+   One process-wide set of worker domains stands in for the paper's
+   persistent OpenMP thread team.  Batches are published through a single
+   epoch-stamped slot:
 
-let run_tasks t tasks =
-  let n = Array.length tasks in
-  if n = 0 then ()
-  else if t.workers <= 1 || n = 1 then Array.iter (fun task -> task ()) tasks
-  else begin
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (try tasks.(i) () with
-          | e ->
-              (* keep the first failure; racing writers may overwrite, which
-                 is acceptable — any failure aborts the join *)
-              Atomic.set failure (Some e));
-          loop ()
-        end
-      in
+     submitter                         worker (parked on [work_available])
+     ---------                         -----------------------------------
+     ensure helpers spawned            wait while epoch = last seen
+     slot := job; epoch++ ------------> wake, read (epoch, slot) under lock
+     broadcast                          take a ticket (participation cap)
+     drain chunks via [job.next]        drain chunks via [job.next]
+     wait pending = 0 <---------------- last chunk broadcasts [quiescent]
+     slot := None; reraise failure      park again
+
+   The join is a fence on [job.pending], not a [Domain.join]: domains are
+   spawned once (lazily) and reused by every kernel in the process. *)
+
+type job = {
+  fn : int -> unit;  (* execute chunk [i] *)
+  chunks : int;
+  next : int Atomic.t;  (* work index: dynamic task farming *)
+  pending : int Atomic.t;  (* chunks not yet finished *)
+  failed : exn option Atomic.t;  (* first failure aborts the batch *)
+  helper_cap : int;  (* max worker domains that may participate *)
+  tickets : int Atomic.t;
+}
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()  (* new epoch, or shutdown *)
+let quiescent = Condition.create ()  (* batch finished / slot freed *)
+let epoch = ref 0
+let slot : job option ref = ref None
+let shutting_down = ref false
+let helpers : unit Domain.t list ref = ref []
+
+(* The OCaml runtime supports ~128 concurrent domains; stay well below so
+   user code can spawn its own. *)
+let max_helpers = 120
+
+(* ---------------------------------------------------------------- stats *)
+
+type stats = {
+  live_domains : int;
+  spawned : int;
+  jobs : int;
+  chunks : int;
+  stolen : int;
+  inline_runs : int;
+}
+
+let spawned_c = Atomic.make 0
+let jobs_c = Atomic.make 0
+let chunks_c = Atomic.make 0
+let stolen_c = Atomic.make 0
+let inline_c = Atomic.make 0
+
+let stats () =
+  Mutex.lock lock;
+  let live = List.length !helpers in
+  Mutex.unlock lock;
+  {
+    live_domains = live;
+    spawned = Atomic.get spawned_c;
+    jobs = Atomic.get jobs_c;
+    chunks = Atomic.get chunks_c;
+    stolen = Atomic.get stolen_c;
+    inline_runs = Atomic.get inline_c;
+  }
+
+let reset_stats () =
+  Atomic.set jobs_c 0;
+  Atomic.set chunks_c 0;
+  Atomic.set stolen_c 0;
+  Atomic.set inline_c 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d domain(s) live (%d spawned); %d batch(es) dispatched, %d chunk(s) \
+     (%d stolen by helpers); %d inline run(s)"
+    s.live_domains s.spawned s.jobs s.chunks s.stolen s.inline_runs
+
+(* ------------------------------------------------------- chunk execution *)
+
+(* Set while a domain executes pool chunks, so a re-entrant submission from
+   inside a task degrades to inline execution instead of deadlocking on the
+   single publication slot. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let run_chunks ~stolen job =
+  let flag = Domain.DLS.get in_task in
+  flag := true;
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.chunks then begin
+      (match Atomic.get job.failed with
+      | Some _ -> ()  (* aborting: drain the index without running *)
+      | None -> (
+          try job.fn i
+          with e -> ignore (Atomic.compare_and_set job.failed None (Some e))));
+      Atomic.incr chunks_c;
+      if stolen then Atomic.incr stolen_c;
+      (* last finished chunk releases the submitter's fence *)
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        Mutex.lock lock;
+        Condition.broadcast quiescent;
+        Mutex.unlock lock
+      end;
       loop ()
-    in
-    let spawned =
-      Array.init
-        (min (t.workers - 1) (n - 1))
-        (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join spawned;
-    match Atomic.get failure with
-    | Some e -> raise e
-    | None -> ()
+    end
+  in
+  loop ();
+  flag := false
+
+let rec worker_loop seen =
+  Mutex.lock lock;
+  while (not !shutting_down) && !epoch = seen do
+    Condition.wait work_available lock
+  done;
+  let stop = !shutting_down in
+  let now = !epoch in
+  let published = !slot in
+  Mutex.unlock lock;
+  if not stop then begin
+    (match published with
+    | Some job when Atomic.fetch_and_add job.tickets 1 < job.helper_cap ->
+        run_chunks ~stolen:true job
+    | _ -> ()  (* over the participation cap, or a stale slot: park again *));
+    worker_loop now
   end
 
-let parallel_for t n f =
-  run_tasks t (Array.init n (fun i () -> f i))
+let ensure_helpers n =
+  let n = min n max_helpers in
+  Mutex.lock lock;
+  if (not !shutting_down) && List.length !helpers < n then begin
+    let seen = !epoch in
+    (try
+       for _ = List.length !helpers + 1 to n do
+         helpers := Domain.spawn (fun () -> worker_loop seen) :: !helpers;
+         Atomic.incr spawned_c
+       done
+     with _ -> () (* out of domains: proceed with however many we got *))
+  end;
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------ submission *)
+
+let submit ~helper_cap ~chunks fn =
+  let job =
+    {
+      fn;
+      chunks;
+      next = Atomic.make 0;
+      pending = Atomic.make chunks;
+      failed = Atomic.make None;
+      helper_cap;
+      tickets = Atomic.make 0;
+    }
+  in
+  ensure_helpers helper_cap;
+  Mutex.lock lock;
+  (* one batch in flight at a time: concurrent submitters queue here *)
+  while !slot <> None do
+    Condition.wait quiescent lock
+  done;
+  slot := Some job;
+  incr epoch;
+  Atomic.incr jobs_c;
+  Condition.broadcast work_available;
+  Mutex.unlock lock;
+  (* the submitter is a full participant — with no helpers woken yet it
+     simply drains the whole batch itself *)
+  run_chunks ~stolen:false job;
+  Mutex.lock lock;
+  while Atomic.get job.pending > 0 do
+    Condition.wait quiescent lock
+  done;
+  slot := None;
+  Condition.broadcast quiescent;
+  Mutex.unlock lock;
+  match Atomic.get job.failed with Some e -> raise e | None -> ()
+
+let shutdown () =
+  Mutex.lock lock;
+  let ds = !helpers in
+  helpers := [];
+  if ds <> [] then begin
+    shutting_down := true;
+    Condition.broadcast work_available
+  end;
+  Mutex.unlock lock;
+  if ds <> [] then begin
+    List.iter Domain.join ds;
+    Mutex.lock lock;
+    (* reusable: the next parallel batch respawns lazily *)
+    shutting_down := false;
+    Mutex.unlock lock
+  end
+
+let () = at_exit shutdown
+
+(* ----------------------------------------------------------------- views *)
+
+type t = { workers : int; serial_cutoff : int }
+
+let create ~workers =
+  { workers = max 1 workers; serial_cutoff = Config.default_serial_cutoff }
+
+let with_serial_cutoff serial_cutoff t = { t with serial_cutoff }
+
+let global () = create ~workers:Config.default.Config.workers
+
+let workers t = t.workers
+let sequential = { workers = 1; serial_cutoff = Config.default_serial_cutoff }
+
+let run_inline tasks =
+  Atomic.incr inline_c;
+  Array.iter (fun task -> task ()) tasks
+
+let run_tasks ?points t tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if
+    t.workers <= 1 || n = 1
+    || !(Domain.DLS.get in_task)
+    || (match points with Some p -> p < t.serial_cutoff | None -> false)
+  then run_inline tasks
+  else
+    submit
+      ~helper_cap:(min (t.workers - 1) (n - 1))
+      ~chunks:n
+      (fun i -> tasks.(i) ())
+
+let parallel_range ?grain t n f =
+  if n > 0 then begin
+    let grain =
+      match grain with
+      | Some g -> max 1 g
+      | None -> max 1 (n / (t.workers * 4))
+    in
+    let chunks = (n + grain - 1) / grain in
+    if t.workers <= 1 || chunks = 1 || !(Domain.DLS.get in_task) then begin
+      Atomic.incr inline_c;
+      f 0 n
+    end
+    else
+      submit
+        ~helper_cap:(min (t.workers - 1) (chunks - 1))
+        ~chunks
+        (fun c ->
+          let lo = c * grain in
+          f lo (min n (lo + grain)))
+  end
+
+let parallel_for ?grain t n f =
+  parallel_range ?grain t n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)

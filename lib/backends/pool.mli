@@ -1,32 +1,88 @@
-(** A small fork-join task pool over OCaml domains.
+(** A persistent work-sharing pool over OCaml domains.
 
-    This is the substrate standing in for the paper's OpenMP runtime: a
-    parallel region executes an array of independent tasks and joins
-    (an implicit barrier).  With [workers <= 1] everything runs inline on
-    the calling domain, which is also the sensible default on a single-core
-    host; the scheduling code path is identical either way.
+    This is the substrate standing in for the paper's OpenMP runtime.  The
+    paper's backend amortises thread startup across the whole run: OpenMP
+    keeps its worker threads alive between parallel regions and farms tasks
+    to them.  This module does the same with domains — one process-wide set
+    of worker domains is spawned lazily on first use, parks on a
+    mutex/condition pair while idle, and executes task batches published
+    through a single epoch-stamped slot with an atomic work index.  A wave
+    join is therefore a fence over the shared slot, not a round of
+    [Domain.spawn]/[Domain.join] pairs.
 
-    Tasks within one [run_tasks] call MUST be independent — that is exactly
-    what the Diophantine analysis certifies before a backend enqueues
-    them. *)
+    A {!t} is a cheap *view* of that shared domain set: it only records the
+    degree of parallelism (like [OMP_NUM_THREADS]) and the serial cutoff.
+    Creating one allocates nothing and spawns nothing; every kernel
+    compiled by the OpenMP/OpenCL micro-compilers shares the same hot
+    workers.
+
+    Tasks within one batch MUST be independent — that is exactly what the
+    Diophantine analysis certifies before a backend enqueues them.
+
+    Re-entrancy: a batch submitted from inside a pool task (same or other
+    view) executes inline on the calling domain instead of deadlocking on
+    the publication slot.  Exceptions raised by tasks abort the batch (the
+    remaining tasks are skipped), the join still completes, the first
+    exception is re-raised on the submitter, and the pool stays usable. *)
 
 type t
 
 val create : workers:int -> t
-(** [workers] is the total degree of parallelism (like [OMP_NUM_THREADS]);
-    values below 2 mean sequential execution.  Creation is cheap; domains
-    are spawned per parallel region, not kept hot. *)
+(** A view capped at [workers] (values below 2 mean inline execution).
+    Cheap: worker domains are global, spawned lazily on first parallel
+    batch, and shared by every view.  The serial cutoff defaults to
+    {!Config.default_serial_cutoff}. *)
+
+val with_serial_cutoff : int -> t -> t
+(** Set the lattice-point threshold below which a batch carrying a
+    [points] hint runs inline — dispatching a handful of points to the
+    pool costs more than computing them. *)
+
+val global : unit -> t
+(** The default view, sized from [SF_WORKERS] (via {!Config.default}). *)
 
 val workers : t -> int
 
 val sequential : t
-(** A pool that always runs inline. *)
+(** A view that always runs inline. *)
 
-val run_tasks : t -> (unit -> unit) array -> unit
+val run_tasks : ?points:int -> t -> (unit -> unit) array -> unit
 (** Execute all tasks and return when every one has finished.  Tasks are
     distributed dynamically (an atomic work counter — task farming, not
-    static chunking, matching the paper's OpenMP backend).  Exceptions in
-    tasks are re-raised on the caller after the join. *)
+    static chunking, matching the paper's OpenMP backend).  [points] is the
+    total number of lattice points the batch touches; batches below the
+    view's serial cutoff run inline (the adaptive serial fallback that
+    keeps coarse multigrid levels cheap).  Exceptions in tasks are
+    re-raised on the caller after the join. *)
 
-val parallel_for : t -> int -> (int -> unit) -> unit
-(** [parallel_for pool n f] runs [f 0 .. f (n-1)] as tasks. *)
+val parallel_range : ?grain:int -> t -> int -> (int -> int -> unit) -> unit
+(** [parallel_range ~grain pool n f] covers [0, n) with disjoint chunks of
+    at most [grain] indices and calls [f lo hi] (hi exclusive) for each —
+    one closure per *chunk*, not per index.  [grain] defaults to about four
+    chunks per worker. *)
+
+val parallel_for : ?grain:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f 0 .. f (n-1)]; a thin wrapper over
+    {!parallel_range} kept for compatibility. *)
+
+val shutdown : unit -> unit
+(** Park-then-join every worker domain.  Idempotent; registered [at_exit].
+    The pool remains usable afterwards (workers respawn lazily on the next
+    parallel batch). *)
+
+(** {2 Instrumentation} *)
+
+type stats = {
+  live_domains : int;  (** worker domains currently parked or working *)
+  spawned : int;  (** domains spawned since program start *)
+  jobs : int;  (** parallel batches dispatched through the shared slot *)
+  chunks : int;  (** total chunks executed by dispatched batches *)
+  stolen : int;  (** chunks executed by helper domains (not the submitter) *)
+  inline_runs : int;
+      (** batches run inline: sequential views, single tasks, nested
+          submissions and below-cutoff waves *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> stats -> unit

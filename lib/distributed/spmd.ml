@@ -143,8 +143,17 @@ let residual_group t =
     @ List.map (per_rank_stencil t (Nd.residual_vc ~dims:t.dims)) (ranks t))
 
 let run_group t group =
+  (* ranks share the process-wide persistent pool (SF_WORKERS): one wave of
+     per-rank stencils farms out across all ranks at once, like the OpenMP
+     backend the paper layers its SPMD future work on *)
+  let config =
+    Sf_backends.Config.with_workers
+      (Sf_backends.Pool.workers (Sf_backends.Pool.global ()))
+      Sf_backends.Config.default
+  in
   let kernel =
-    Sf_backends.Jit.compile Sf_backends.Jit.Compiled ~shape:t.shape group
+    Sf_backends.Jit.compile ~config Sf_backends.Jit.Openmp ~shape:t.shape
+      group
   in
   kernel.Sf_backends.Kernel.run ~params:(params t) t.grids
 

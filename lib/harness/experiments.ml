@@ -13,7 +13,12 @@ type opts = {
 }
 
 let default_opts =
-  { size = 32; sizes = [ 8; 16; 32; 64 ]; cycles = 4; workers = 1; repeats = 3 }
+  { size = 32;
+    sizes = [ 8; 16; 32; 64 ];
+    cycles = 4;
+    workers = Config.default_workers;
+    repeats = 3;
+  }
 
 let csv_dir : string option ref = ref None
 
@@ -183,8 +188,16 @@ let run_fig7 opts =
 
 (* ------------------------------------------------------------------ E3 *)
 
+(* Runtime-orchestration telemetry: how many waves went through the
+   persistent pool vs inline (serial cutoff), printed by the experiments
+   whose numbers depend on dispatch overhead. *)
+let report_pool_stats () =
+  Printf.printf "pool: %s\n"
+    (Format.asprintf "%a" Pool.pp_stats (Pool.stats ()))
+
 let run_fig8 opts =
   heading "E3 / Fig 8: VC GSRB smoother time vs problem size";
+  Pool.reset_stats ();
   let host = Lazy.force host_machine in
   let omp_cfg = Config.with_workers opts.workers Config.default in
   let t =
@@ -229,6 +242,7 @@ let run_fig8 opts =
         ])
     opts.sizes;
   emit_table "fig8" t;
+  report_pool_stats ();
   Printf.printf
     "Small sizes can beat the DRAM roofline because they fit in cache \
      (paper notes the same for 32^3).\n"
@@ -330,6 +344,7 @@ let run_fig9 opts =
 let run_tiling opts =
   let n = opts.size in
   heading (Printf.sprintf "A1: OpenMP tile-size sweep, VC GSRB at %d^3" n);
+  Pool.reset_stats ();
   let level = prepared_level n in
   let t = Tabular.create ~headers:[ "tile"; "time"; "stencils/s" ] in
   let points = float_of_int (n * n * n) in
@@ -352,7 +367,8 @@ let run_tiling opts =
       ("4x8x32", Some [ 4; 8; 32 ]);
       ("2x2x2", Some [ 2; 2; 2 ]);
     ];
-  emit_table "tiling" t
+  emit_table "tiling" t;
+  report_pool_stats ()
 
 let run_multicolor opts =
   let n = opts.size in
@@ -583,6 +599,121 @@ let run_distributed opts =
       Printf.sprintf "%.2fx" (t_spmd /. t_single);
     ];
   emit_table "distributed" tab
+
+(* ------------------------------------------------------------------ P0 *)
+
+(* The seed executor, reconstructed as the baseline: a fresh round of
+   [Domain.spawn]/[Domain.join] for every wave of every kernel invocation —
+   what `Sf_backends.Pool` did before it became a persistent pool. *)
+let spawn_per_wave workers tasks =
+  let n = Array.length tasks in
+  if workers <= 1 || n <= 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          tasks.(i) ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init
+        (min (workers - 1) (n - 1))
+        (fun _ -> Stdlib.Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Stdlib.Domain.join spawned
+  end
+
+let run_pool opts =
+  heading
+    "P0: per-wave dispatch latency — spawn-per-wave (seed) vs persistent \
+     pool";
+  let max_w = max 1 opts.workers in
+  let joins = 200 in
+  let mesh_n = 16 in
+  let work = Array.make (mesh_n * mesh_n * mesh_n) 1.0 in
+  let empty_tasks w = Array.init w (fun _ () -> ()) in
+  let work_tasks w =
+    (* one wave sweeping 16^3 points, split into w slabs *)
+    let total = Array.length work in
+    let slab = (total + w - 1) / w in
+    Array.init w (fun k () ->
+        let lo = k * slab and hi = min total ((k + 1) * slab) in
+        for i = lo to hi - 1 do
+          work.(i) <- (work.(i) *. 0.999) +. 0.001
+        done)
+  in
+  let per_wave f =
+    Timer.time ~warmup:1 ~repeats:opts.repeats (fun () ->
+        for _ = 1 to joins do
+          f ()
+        done)
+    /. float_of_int joins
+  in
+  let us v = Printf.sprintf "%.2f us" (v *. 1e6) in
+  let t =
+    Tabular.create
+      ~headers:[ "workers"; "task"; "spawn/wave"; "pool/wave"; "speedup" ]
+  in
+  let rows = ref [] in
+  for w = 1 to max_w do
+    let pool = Pool.create ~workers:w in
+    List.iter
+      (fun (kind, tasks) ->
+        let t_spawn = per_wave (fun () -> spawn_per_wave w tasks) in
+        let t_pool = per_wave (fun () -> Pool.run_tasks pool tasks) in
+        let speedup = t_spawn /. t_pool in
+        rows := (w, kind, t_spawn, t_pool, speedup) :: !rows;
+        Tabular.add_row t
+          [
+            string_of_int w;
+            kind;
+            us t_spawn;
+            us t_pool;
+            Printf.sprintf "%.1fx" speedup;
+          ])
+      [ ("empty", empty_tasks w); ("16^3", work_tasks w) ]
+  done;
+  let rows = List.rev !rows in
+  emit_table "pool" t;
+  report_pool_stats ();
+  (* persist the dispatch-overhead trajectory for the perf history *)
+  let headline =
+    List.fold_left
+      (fun acc (w, kind, _, _, s) ->
+        if w = max_w && kind = "empty" then s else acc)
+      1.0 rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"benchmark\": \"pool-dispatch\",\n";
+  Printf.bprintf buf "  \"joins_per_sample\": %d,\n" joins;
+  Printf.bprintf buf "  \"workers_max\": %d,\n" max_w;
+  Printf.bprintf buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (w, kind, t_spawn, t_pool, speedup) ->
+      Printf.bprintf buf
+        "    {\"workers\": %d, \"task\": %S, \"spawn_per_wave_us\": %.3f, \
+         \"persistent_pool_us\": %.3f, \"speedup\": %.2f}%s\n"
+        w kind (t_spawn *. 1e6) (t_pool *. 1e6) speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.bprintf buf "  ],\n";
+  Printf.bprintf buf
+    "  \"dispatch_speedup_empty_at_max_workers\": %.2f\n" headline;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_pool.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "[BENCH_pool.json written: empty-wave dispatch %.1fx faster than \
+     spawn-per-wave at %d workers]\n"
+    headline max_w
 
 (* A correctness gate printed into the benchmark log, in the spirit of
    HPGMG's built-in verification: the numbers above only matter if these

@@ -60,6 +60,12 @@ val run_distributed : opts -> unit
 (** D1: simulated SPMD GSRB (stencil-expressed halo exchange) vs the
     single-domain smoother of the same global size. *)
 
+val run_pool : opts -> unit
+(** P0: per-wave dispatch latency of the persistent worker-domain pool vs
+    the seed's spawn-per-wave executor, for 1..workers and both empty and
+    16³-point waves.  Writes [BENCH_pool.json] into the working directory
+    so the orchestration-overhead trajectory is tracked across PRs. *)
+
 val run_verify : opts -> unit
 (** V0: an HPGMG-style correctness gate printed into the benchmark log —
     convergence factor, discretisation error, DSL-vs-hand agreement,

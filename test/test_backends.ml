@@ -39,6 +39,72 @@ let test_parallel_for () =
       ignore (Atomic.fetch_and_add acc i));
   check_int "sum" (50 * 49 / 2) (Atomic.get acc)
 
+let test_parallel_range_chunks () =
+  let seen = Array.make 100 0 in
+  Pool.parallel_range ~grain:7 (Pool.create ~workers:4) 100 (fun lo hi ->
+      check_bool "grain bound" true (hi - lo <= 7 && lo < hi);
+      for i = lo to hi - 1 do
+        seen.(i) <- seen.(i) + 1
+      done);
+  check_bool "covers [0,n) exactly once" true (Array.for_all (( = ) 1) seen);
+  (* n = 0 is a no-op; grain larger than n gives one inline chunk *)
+  Pool.parallel_range (Pool.create ~workers:4) 0 (fun _ _ ->
+      Alcotest.fail "called on empty range");
+  let calls = ref 0 in
+  Pool.parallel_range ~grain:1000 (Pool.create ~workers:4) 5 (fun lo hi ->
+      incr calls;
+      check_int "whole range" 5 (hi - lo));
+  check_int "single chunk" 1 !calls
+
+let test_pool_exception_leaves_pool_reusable () =
+  let pool = Pool.create ~workers:4 in
+  let tasks = Array.init 16 (fun i () -> if i = 5 then failwith "kaboom") in
+  (try
+     Pool.run_tasks pool tasks;
+     Alcotest.fail "exception swallowed"
+   with Failure m -> Alcotest.(check string) "msg" "kaboom" m);
+  (* the join aborted but the worker domains survive: the same pool must
+     execute the next batch completely *)
+  let hits = Array.make 64 0 in
+  Pool.run_tasks pool (Array.init 64 (fun i () -> hits.(i) <- hits.(i) + 1));
+  check_bool "reusable after failure" true (Array.for_all (( = ) 1) hits)
+
+let test_pool_nested_runs_inline () =
+  (* a task that itself submits a batch must not deadlock on the shared
+     publication slot: re-entrant submissions run inline *)
+  let pool = Pool.create ~workers:4 in
+  let inner = Atomic.make 0 in
+  let outer =
+    Array.init 4 (fun _ () ->
+        Pool.run_tasks pool (Array.init 8 (fun _ () -> Atomic.incr inner)))
+  in
+  Pool.run_tasks pool outer;
+  check_int "nested tasks all ran" 32 (Atomic.get inner)
+
+let test_pool_shutdown_idempotent () =
+  Pool.shutdown ();
+  Pool.shutdown ();
+  (* the pool is still usable afterwards: workers respawn lazily *)
+  let acc = Atomic.make 0 in
+  Pool.parallel_for (Pool.create ~workers:3) 100 (fun i ->
+      ignore (Atomic.fetch_and_add acc i));
+  check_int "sum after shutdown" (100 * 99 / 2) (Atomic.get acc);
+  Pool.shutdown ()
+
+let test_pool_serial_cutoff () =
+  let pool = Pool.create ~workers:4 |> Pool.with_serial_cutoff 1000 in
+  Pool.reset_stats ();
+  let ran = Array.make 4 0 in
+  let tasks () = Array.init 4 (fun i () -> ran.(i) <- ran.(i) + 1) in
+  Pool.run_tasks ~points:10 pool (tasks ());
+  check_int "below cutoff: no dispatch" 0 (Pool.stats ()).Pool.jobs;
+  Pool.run_tasks ~points:100_000 pool (tasks ());
+  check_int "above cutoff: dispatched" 1 (Pool.stats ()).Pool.jobs;
+  (* no hint means no cutoff *)
+  Pool.run_tasks pool (tasks ());
+  check_int "no hint: dispatched" 2 (Pool.stats ()).Pool.jobs;
+  check_bool "every batch ran fully" true (Array.for_all (( = ) 3) ran)
+
 (* -------------------------------------------------------------- Tiling *)
 
 let resolved lo hi stride shape =
@@ -798,6 +864,27 @@ let test_jit_cache () =
   let hits, _ = Jit.cache_stats () in
   check_int "structural hit" 2 hits
 
+let test_jit_thread_safety () =
+  (* kernels may be compiled from worker domains: racing compiles of the
+     same key must agree on one cached kernel and not corrupt counters *)
+  Jit.clear_cache ();
+  let shape = iv [ 8; 8 ] in
+  let group = gsrb_group () in
+  let kernels =
+    Array.init 4 (fun _ ->
+        Stdlib.Domain.spawn (fun () -> Jit.compile Jit.Compiled ~shape group))
+    |> Array.map Stdlib.Domain.join
+  in
+  Array.iter
+    (fun k -> check_bool "one kernel retained" true (k == kernels.(0)))
+    kernels;
+  let hits, misses = Jit.cache_stats () in
+  check_int "every compile counted" 4 (hits + misses);
+  check_bool "at least one miss" true (misses >= 1);
+  (* and the retained kernel is the one later lookups return *)
+  check_bool "cache settled" true
+    (Jit.compile Jit.Compiled ~shape group == kernels.(0))
+
 let test_custom_backend_registry () =
   let calls = ref 0 in
   Jit.register_backend ~name:"unit-test-backend" (fun config ~shape group ->
@@ -903,6 +990,15 @@ let () =
           Alcotest.test_case "sequential order" `Quick test_pool_sequential;
           Alcotest.test_case "exception" `Quick test_pool_exception;
           Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "parallel_range chunks" `Quick
+            test_parallel_range_chunks;
+          Alcotest.test_case "exception leaves pool reusable" `Quick
+            test_pool_exception_leaves_pool_reusable;
+          Alcotest.test_case "nested submit runs inline" `Quick
+            test_pool_nested_runs_inline;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "serial cutoff" `Quick test_pool_serial_cutoff;
         ] );
       ( "tiling",
         [
@@ -974,6 +1070,7 @@ let () =
       ( "jit",
         [
           Alcotest.test_case "cache" `Quick test_jit_cache;
+          Alcotest.test_case "thread safety" `Quick test_jit_thread_safety;
           Alcotest.test_case "backend names" `Quick test_backend_names;
           Alcotest.test_case "custom registry" `Quick
             test_custom_backend_registry;
