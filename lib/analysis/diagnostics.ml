@@ -1,0 +1,95 @@
+open Snowflake
+
+type severity = Error | Warning | Note
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : Srcloc.t;
+  message : string;
+  hint : string option;
+}
+
+let make ~code ~severity ~loc ?hint message =
+  { code; severity; loc; message; hint }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = Srcloc.compare a.loc b.loc in
+      if c <> 0 then c else String.compare a.code b.code)
+    ds
+
+let catalogue =
+  [
+    ("SF001", Error, "access escapes its grid (out of bounds)");
+    ("SF002", Warning, "domain union writes a cell more than once");
+    ("SF003", Note, "loop-carried dependence; stencil runs sequentially");
+    ("SF004", Error, "parameter read but not bound");
+    ("SF011", Warning, "grid read before any write or declared input");
+    ("SF012", Warning, "entire write lattice overwritten before any read");
+    ("SF021", Error, "intra-wave race in a backend plan");
+    ("SF022", Warning, "stencil forced parallel against the analysis");
+  ]
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %a: %s"
+    (severity_to_string d.severity)
+    d.code Srcloc.pp d.loc d.message;
+  match d.hint with
+  | Some h -> Format.fprintf ppf "@\n  hint: %s" h
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+let render ds =
+  match ds with
+  | [] -> ""
+  | _ ->
+      let body = String.concat "\n" (List.map to_string ds) in
+      Printf.sprintf "%s\n%d error(s), %d warning(s), %d note(s)\n" body
+        (count Error ds) (count Warning ds) (count Note ds)
+
+(* ------------------------------------------------------------------ JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_opt = function None -> "null" | Some s -> json_string s
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":%s,\"severity\":%s,\"group\":%s,\"stencil\":%s,\"part\":%s,\
+     \"message\":%s,\"hint\":%s}"
+    (json_string d.code)
+    (json_string (severity_to_string d.severity))
+    (json_opt d.loc.Srcloc.group)
+    (json_opt d.loc.Srcloc.stencil)
+    (json_string (Srcloc.part_to_string d.loc.Srcloc.part))
+    (json_string d.message) (json_opt d.hint)
+
+let list_to_json ds =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json ds))

@@ -1,0 +1,79 @@
+(** Structured diagnostics for the whole-program analyzer ([sflint]).
+
+    Every finding any analysis pass produces — the four classic [Validate]
+    checks, the dataflow passes in [Lint], and the schedule certifier in
+    [Sf_backends.Schedule_check] — is one of these records: a stable code
+    (the [SFxxx] catalogue below), a severity, a {!Snowflake.Srcloc.t}
+    naming the group/stencil/part it is about, a human message, and an
+    optional machine-suggested fix.  Two renderers are provided: a
+    compiler-style text form and a line-stable JSON form for tooling.
+
+    {2 Code catalogue}
+
+    - [SF001] error — an access escapes its grid (with a concrete witness
+      cell and the halo widening that would fix it)
+    - [SF002] warning — a stencil's domain union writes some cell twice
+    - [SF003] note — loop-carried dependence: the stencil runs sequentially
+    - [SF004] error — a parameter is read but not bound by the caller
+    - [SF011] uninitialized read — a grid is read before any stencil or
+      declared input writes the cells read (error when the program's inputs
+      are declared, warning when they are inferred)
+    - [SF012] warning — dead store: a stencil's entire write lattice is
+      overwritten before any read observes it
+    - [SF021] error — certification failure: two tasks of the same wave of
+      a backend plan touch a common cell with at least one write
+    - [SF022] warning — the configuration forces a stencil parallel against
+      the analysis ([Config.force_parallel]), so certification is the only
+      safety net left *)
+
+open Snowflake
+
+type severity = Error | Warning | Note
+
+type t = {
+  code : string;  (** stable [SFxxx] identifier *)
+  severity : severity;
+  loc : Srcloc.t;
+  message : string;
+  hint : string option;  (** suggested fix, when the pass can compute one *)
+}
+
+val make :
+  code:string -> severity:severity -> loc:Srcloc.t -> ?hint:string ->
+  string -> t
+
+val severity_to_string : severity -> string
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val sort : t list -> t list
+(** Stable order: program order of the location, then code. *)
+
+val catalogue : (string * severity * string) list
+(** [(code, default severity, one-line description)] for every code the
+    analyzer can emit, in catalogue order ([sflint --codes], docs). *)
+
+val pp : Format.formatter -> t -> unit
+(** [severity[code] loc: message] followed by an indented [hint:] line. *)
+
+val to_string : t -> string
+
+val render : t list -> string
+(** All diagnostics, one per line (hints indented), plus a trailing
+    [N error(s), M warning(s), K note(s)] summary line when non-empty. *)
+
+val to_json : t -> string
+(** One stable JSON object:
+    [{"code":…,"severity":…,"group":…,"stencil":…,"part":…,"message":…,
+      "hint":…}].  [group]/[stencil] are [null] when absent, [part] is
+    [""] for a whole-stencil location, [hint] is [null] when absent. *)
+
+val list_to_json : t list -> string
+(** JSON array of {!to_json} objects (no trailing newline). *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON quotes (exposed for the CLI
+    wrapper that adds file-level framing). *)

@@ -75,47 +75,76 @@ let read_footprint ~shape (s : Stencil.t) =
   in
   List.fold_left add StringMap.empty (Stencil.reads s) |> StringMap.bindings
 
-(* The lattice fits in the box [0, extent) on every axis. *)
-let lattice_in_box extent (r : Domain.resolved) =
-  let ok = ref true in
-  let cnt = Domain.counts r in
-  Array.iteri
-    (fun i lo ->
-      if cnt.(i) > 0 then begin
-        let hi_incl = lo + ((cnt.(i) - 1) * r.Domain.rstride.(i)) in
-        if lo < 0 || hi_incl >= extent.(i) then ok := false
-      end)
-    r.Domain.rlo;
-  !ok
+type escape = {
+  access : [ `Read | `Write ];
+  grid : string;
+  map : Affine.t;
+  cell : Ivec.t;
+  widen_lo : Ivec.t;
+  widen_hi : Ivec.t;
+}
 
-let check_in_bounds ~shape ~grid_shape (s : Stencil.t) =
+(* Per axis of one image rect: inclusive bounds of the lattice. *)
+let axis_bounds (r : Domain.resolved) i =
+  let cnt = (Domain.counts r).(i) in
+  let lo = r.Domain.rlo.(i) in
+  (lo, lo + ((cnt - 1) * r.Domain.rstride.(i)))
+
+let escapes ~shape ~grid_shape (s : Stencil.t) =
   let base = Domain.resolve ~shape s.Stencil.domain in
-  let check_access what grid m =
+  let n = Ivec.dims shape in
+  let check_access access grid m =
     let extent = grid_shape grid in
-    List.find_map
+    let widen_lo = Array.make n 0 and widen_hi = Array.make n 0 in
+    let cell = ref None in
+    List.iter
       (fun r ->
         let img = affine_image m r in
-        if Domain.is_empty img || lattice_in_box extent img then None
-        else
-          Some
-            (Printf.sprintf
-               "stencil %s: %s of %s via map %s escapes shape %s"
-               s.Stencil.label what grid
-               (Format.asprintf "%a" Affine.pp m)
-               (Ivec.to_string extent)))
-      base
+        if not (Domain.is_empty img) then begin
+          let out_here = ref false in
+          let witness = Array.copy img.Domain.rlo in
+          for i = 0 to n - 1 do
+            let lo, hi_incl = axis_bounds img i in
+            if lo < 0 then begin
+              out_here := true;
+              widen_lo.(i) <- max widen_lo.(i) (-lo);
+              witness.(i) <- lo
+            end;
+            if hi_incl >= extent.(i) then begin
+              out_here := true;
+              widen_hi.(i) <- max widen_hi.(i) (hi_incl - extent.(i) + 1);
+              (* prefer the low-side witness when both sides escape *)
+              if lo >= 0 then witness.(i) <- hi_incl
+            end
+          done;
+          if !out_here && !cell = None then cell := Some witness
+        end)
+      base;
+    match !cell with
+    | None -> None
+    | Some cell -> Some { access; grid; map = m; cell; widen_lo; widen_hi }
   in
-  let read_err =
-    List.find_map
-      (fun (grid, m) -> check_access "read" grid m)
+  let reads =
+    List.filter_map
+      (fun (grid, m) -> check_access `Read grid m)
       (Stencil.reads s)
   in
-  match read_err with
-  | Some msg -> Error msg
-  | None -> (
-      match check_access "write" s.Stencil.output s.Stencil.out_map with
-      | Some msg -> Error msg
-      | None -> Ok ())
+  let write = check_access `Write s.Stencil.output s.Stencil.out_map in
+  reads @ Option.to_list write
+
+let check_in_bounds ~shape ~grid_shape (s : Stencil.t) =
+  match escapes ~shape ~grid_shape s with
+  | [] -> Ok ()
+  | e :: _ ->
+      Error
+        (Printf.sprintf
+           "stencil %s: %s of %s via map %s escapes shape %s at cell %s"
+           s.Stencil.label
+           (match e.access with `Read -> "read" | `Write -> "write")
+           e.grid
+           (Format.asprintf "%a" Affine.pp e.map)
+           (Ivec.to_string (grid_shape e.grid))
+           (Ivec.to_string e.cell))
 
 let union_self_disjoint ~shape (s : Stencil.t) =
   let _, rects = write_footprint ~shape s in

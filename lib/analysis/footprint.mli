@@ -40,12 +40,34 @@ val read_footprint :
 (** Per read grid, the union over reads of affine-imaged domains.  Grids
     sorted; one entry per grid. *)
 
+type escape = {
+  access : [ `Read | `Write ];
+  grid : string;
+  map : Affine.t;
+  cell : Ivec.t;
+      (** a concrete lattice point of the access that falls outside the
+          grid — the witness a user can paste into a debugger *)
+  widen_lo : Ivec.t;
+      (** per axis, how many cells below index 0 the access reaches *)
+  widen_hi : Ivec.t;
+      (** per axis, how many cells at or beyond the extent it reaches;
+          growing the grid by [widen_lo]/[widen_hi] ghost cells (and
+          shifting accordingly) would make the access legal *)
+}
+
+val escapes :
+  shape:Ivec.t -> grid_shape:(string -> Ivec.t) -> Stencil.t -> escape list
+(** Every out-of-bounds access of the stencil, one record per (access,
+    grid, map), reads first then the write; empty when all accesses fit.
+    The widening amounts aggregate over the whole domain union, the
+    witness cell comes from the first offending rect. *)
+
 val check_in_bounds :
   shape:Ivec.t -> grid_shape:(string -> Ivec.t) -> Stencil.t ->
   (unit, string) result
 (** Every read and write the stencil performs stays inside
     [[0, grid_shape g)) for the grid it touches; the error string names the
-    offending access. *)
+    offending access and its witness cell (first entry of {!escapes}). *)
 
 val union_self_disjoint : shape:Ivec.t -> Stencil.t -> bool
 (** The write lattices arising from the stencil's domain union are pairwise

@@ -1,0 +1,252 @@
+open Sf_util
+open Snowflake
+
+module StringSet = Set.Make (String)
+
+let enumeration_cap = 1 lsl 22
+
+(* Cell sets are hashtables keyed by the cell vector; Domain.iter reuses
+   its vector, so keys are copied on insertion. *)
+type cellset = (int array, unit) Hashtbl.t
+
+let add_lattices (set : cellset) lats =
+  List.iter
+    (fun lat -> Domain.iter lat (fun c -> Hashtbl.replace set (Array.copy c) ()))
+    lats
+
+let loc group index (s : Stencil.t) part =
+  Srcloc.stencil ~group:group.Group.label ~index ~part s.Stencil.label
+
+(* ------------------------------------------------------- SF001: bounds *)
+
+let widen_hint grid (e : Footprint.escape) =
+  let dims = Ivec.dims e.Footprint.widen_lo in
+  let parts = ref [] in
+  for i = dims - 1 downto 0 do
+    if e.Footprint.widen_hi.(i) > 0 then
+      parts :=
+        Printf.sprintf "%d cell(s) on the high side of axis %d"
+          e.Footprint.widen_hi.(i) i
+        :: !parts;
+    if e.Footprint.widen_lo.(i) > 0 then
+      parts :=
+        Printf.sprintf "%d cell(s) on the low side of axis %d"
+          e.Footprint.widen_lo.(i) i
+        :: !parts
+  done;
+  Printf.sprintf
+    "widen the halo of grid '%s' by %s, or shrink the stencil's domain"
+    grid
+    (String.concat ", " !parts)
+
+let out_of_bounds ~shape ~grid_shape group =
+  List.concat
+    (List.mapi
+       (fun index s ->
+         List.map
+           (fun (e : Footprint.escape) ->
+             let what, part =
+               match e.Footprint.access with
+               | `Read -> ("read", Srcloc.Read e.Footprint.grid)
+               | `Write -> ("write", Srcloc.Output)
+             in
+             Diagnostics.make ~code:"SF001" ~severity:Diagnostics.Error
+               ~loc:(loc group index s part)
+               ~hint:(widen_hint e.Footprint.grid e)
+               (Printf.sprintf
+                  "%s of %s via map %s reaches cell %s outside the grid's \
+                   shape %s"
+                  what e.Footprint.grid
+                  (Format.asprintf "%a" Affine.pp e.Footprint.map)
+                  (Ivec.to_string e.Footprint.cell)
+                  (Ivec.to_string (grid_shape e.Footprint.grid))))
+           (Footprint.escapes ~shape ~grid_shape s))
+       (Group.stencils group))
+
+(* --------------------------------------------- SF011: uninitialized read *)
+
+(* A grid is assumed external when the first stencil touching it reads it
+   (an in-place first toucher reads old values, so it counts as a read). *)
+let inferred_inputs stencils =
+  let first = Hashtbl.create 8 in
+  Array.iter
+    (fun (s : Stencil.t) ->
+      List.iter
+        (fun g -> if not (Hashtbl.mem first g) then Hashtbl.add first g `Read)
+        (Stencil.grids_read s);
+      if not (Hashtbl.mem first s.Stencil.output) then
+        Hashtbl.add first s.Stencil.output `Write)
+    stencils;
+  Hashtbl.fold
+    (fun g touch acc -> if touch = `Read then StringSet.add g acc else acc)
+    first StringSet.empty
+
+let uninitialized_reads ~shape ?inputs group =
+  let stencils = Array.of_list (Group.stencils group) in
+  let declared = inputs <> None in
+  let assumed =
+    match inputs with
+    | Some l -> StringSet.of_list l
+    | None -> inferred_inputs stencils
+  in
+  let severity = if declared then Diagnostics.Error else Diagnostics.Warning in
+  let hint g =
+    if declared then
+      Printf.sprintf
+        "write '%s' earlier in the group or declare it as an input" g
+    else
+      Printf.sprintf
+        "if '%s' is an external input this is a false alarm; declare the \
+         program's inputs to make the check exact" g
+  in
+  let written_cells : (string, cellset) Hashtbl.t = Hashtbl.create 8 in
+  let written_lats : (string, Domain.resolved list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let exact : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  let is_exact g = Option.value ~default:true (Hashtbl.find_opt exact g) in
+  let lats_of g =
+    Option.value ~default:[] (Hashtbl.find_opt written_lats g)
+  in
+  let cells_of g =
+    match Hashtbl.find_opt written_cells g with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 64 in
+        Hashtbl.add written_cells g t;
+        t
+  in
+  let diags = ref [] in
+  Array.iteri
+    (fun index (s : Stencil.t) ->
+      (* reads observe the state before this stencil's own writes *)
+      List.iter
+        (fun (g, lats) ->
+          if not (StringSet.mem g assumed) then begin
+            let read_points =
+              List.fold_left (fun a l -> a + Domain.npoints l) 0 lats
+            in
+            let finding =
+              if is_exact g && read_points <= enumeration_cap then begin
+                (* cell-exact: witness = first unwritten cell read *)
+                let cells = cells_of g in
+                let missing = Hashtbl.create 16 in
+                let witness = ref None in
+                List.iter
+                  (fun lat ->
+                    Domain.iter lat (fun c ->
+                        if not (Hashtbl.mem cells c) then begin
+                          let c = Array.copy c in
+                          Hashtbl.replace missing c ();
+                          if !witness = None then witness := Some c
+                        end))
+                  lats;
+                Option.map
+                  (fun w -> (w, Hashtbl.length missing))
+                  !witness
+              end
+              else if not (Footprint.lattice_lists_intersect lats (lats_of g))
+              then
+                (* beyond the cap: only the definitely-disjoint case *)
+                match List.find_opt (fun l -> not (Domain.is_empty l)) lats with
+                | Some l -> Some (Array.copy l.Domain.rlo, read_points)
+                | None -> None
+              else None
+            in
+            match finding with
+            | None -> ()
+            | Some (cell, n_cells) ->
+                diags :=
+                  Diagnostics.make ~code:"SF011" ~severity
+                    ~loc:(loc group index s (Srcloc.Read g))
+                    ~hint:(hint g)
+                    (Printf.sprintf
+                       "reads %d cell(s) of '%s' (first witness %s) that no \
+                        earlier stencil writes and that are not declared as \
+                        input"
+                       n_cells g (Ivec.to_string cell))
+                  :: !diags
+          end)
+        (Footprint.read_footprint ~shape s);
+      (* then record this stencil's writes *)
+      let g, wlats = Footprint.write_footprint ~shape s in
+      Hashtbl.replace written_lats g (wlats @ lats_of g);
+      if is_exact g then begin
+        let pts = Domain.npoints_union wlats in
+        if pts + Hashtbl.length (cells_of g) <= enumeration_cap then
+          add_lattices (cells_of g) wlats
+        else Hashtbl.replace exact g false
+      end)
+    stencils;
+  List.rev !diags
+
+(* ----------------------------------------------------- SF012: dead store *)
+
+let dead_stores ~shape group =
+  let stencils = Array.of_list (Group.stencils group) in
+  let n = Array.length stencils in
+  let reads = Array.map (Footprint.read_footprint ~shape) stencils in
+  let writes = Array.map (Footprint.write_footprint ~shape) stencils in
+  let diags = ref [] in
+  for i = 0 to n - 2 do
+    let g, wlats = writes.(i) in
+    let pts = Domain.npoints_union wlats in
+    if pts > 0 && pts <= enumeration_cap then begin
+      let live : cellset = Hashtbl.create pts in
+      add_lattices live wlats;
+      let observed = ref false and killer = ref None in
+      let j = ref (i + 1) in
+      while (not !observed) && !killer = None && !j < n do
+        (* a stencil's reads see the state before its own writes *)
+        (match List.assoc_opt g reads.(!j) with
+        | Some rlats ->
+            if
+              Hashtbl.fold
+                (fun c () acc ->
+                  acc || List.exists (fun l -> Domain.mem l c) rlats)
+                live false
+            then observed := true
+        | None -> ());
+        if (not !observed) && String.equal (fst writes.(!j)) g then begin
+          let wl = snd writes.(!j) in
+          let remaining = Hashtbl.fold (fun c () acc -> c :: acc) live [] in
+          List.iter
+            (fun c ->
+              if List.exists (fun l -> Domain.mem l c) wl then
+                Hashtbl.remove live c)
+            remaining;
+          if Hashtbl.length live = 0 then killer := Some !j
+        end;
+        incr j
+      done;
+      match !killer with
+      | Some k ->
+          let s = stencils.(i) in
+          diags :=
+            Diagnostics.make ~code:"SF012" ~severity:Diagnostics.Warning
+              ~loc:(loc group i s Srcloc.Output)
+              ~hint:"delete the stencil (or reorder it after its overwriter \
+                     if the value is meant to survive)"
+              (Printf.sprintf
+                 "every cell this stencil writes to '%s' is overwritten by \
+                  stencil %d (%s) before any read observes it"
+                 g k stencils.(k).Stencil.label)
+            :: !diags
+      | None -> ()
+    end
+  done;
+  List.rev !diags
+
+(* ----------------------------------------------------------- the driver *)
+
+let program ~shape ~grid_shape ?params ?inputs group =
+  let validate =
+    List.filter
+      (fun (d : Diagnostics.t) -> d.Diagnostics.code <> "SF001")
+      (Validate.group_diagnostics ~shape ~grid_shape ?params group)
+  in
+  Diagnostics.sort
+    (out_of_bounds ~shape ~grid_shape group
+    @ validate
+    @ uninitialized_reads ~shape ?inputs group
+    @ dead_stores ~shape group)

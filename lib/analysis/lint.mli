@@ -1,0 +1,57 @@
+(** Whole-program dataflow passes — the analyzer behind [sflint].
+
+    [Validate] checks each stencil in isolation; the passes here walk the
+    whole group in program order (a topological order of
+    {!Schedule.build_dag}, whose edges always point forward) tracking which
+    cells of each grid have been written, and report the cross-stencil
+    defects that isolation cannot see:
+
+    - {!uninitialized_reads} ([SF011]): a stencil reads cells of a grid
+      that no earlier stencil wrote and that the program does not declare
+      as an input.  Cell-precise: partial initialization (e.g. writing a
+      grid's interior and then reading its ghost ring) is caught, with a
+      concrete witness cell.
+    - {!dead_stores} ([SF012]): a stencil's entire write lattice is
+      overwritten by later stencils before any read observes a single cell
+      of it — the store can be deleted outright.
+    - {!out_of_bounds} ([SF001]): the witness-carrying form of the bounds
+      check, with the halo widening that would fix each escape.
+
+    Cell tracking enumerates lattices exactly up to {!enumeration_cap}
+    points per grid; beyond that the passes degrade to pure lattice
+    intersection (still sound for what they do report, but they may stay
+    silent on partial-coverage defects).
+
+    {!program} is the pass driver the CLI and tests use: every [Validate]
+    check plus every pass above, as one sorted diagnostic list. *)
+
+open Sf_util
+open Snowflake
+
+val enumeration_cap : int
+(** Max cells tracked exactly per grid (2^22). *)
+
+val out_of_bounds :
+  shape:Ivec.t -> grid_shape:(string -> Ivec.t) -> Group.t ->
+  Diagnostics.t list
+
+val uninitialized_reads :
+  shape:Ivec.t -> ?inputs:string list -> Group.t -> Diagnostics.t list
+(** [inputs] declares the grids the caller initializes before running the
+    group; reads of anything else before a covering write are errors.
+    When omitted, inputs are inferred by first touch — a grid whose first
+    touching stencil reads it is assumed external — and findings are
+    warnings (the inference cannot distinguish "external" from "forgot to
+    initialize" for grids the group also writes). *)
+
+val dead_stores : shape:Ivec.t -> Group.t -> Diagnostics.t list
+
+val program :
+  shape:Ivec.t ->
+  grid_shape:(string -> Ivec.t) ->
+  ?params:string list ->
+  ?inputs:string list ->
+  Group.t ->
+  Diagnostics.t list
+(** All passes: [SF001] (witness form), [SF002]–[SF004] from {!Validate},
+    [SF011], [SF012]; sorted in program order. *)

@@ -1,26 +1,49 @@
 open Sf_util
 open Snowflake
 
+module StringSet = Set.Make (String)
+
 type issue =
   | Out_of_bounds of { stencil : string; detail : string }
   | Overlapping_union of { stencil : string }
   | Sequential_in_place of { stencil : string; offsets : Ivec.t list }
   | Unbound_param of { stencil : string; param : string }
 
-let pp_issue ppf = function
+let to_diagnostic ?group ?index issue =
+  let d ~code ~severity ~part stencil ?hint message =
+    Diagnostics.make ~code ~severity
+      ~loc:(Srcloc.stencil ?group ?index ~part stencil)
+      ?hint message
+  in
+  match issue with
   | Out_of_bounds { stencil; detail } ->
-      Format.fprintf ppf "error: %s: %s" stencil detail
+      d ~code:"SF001" ~severity:Diagnostics.Error ~part:Srcloc.Whole stencil
+        detail
   | Overlapping_union { stencil } ->
-      Format.fprintf ppf
-        "error: %s: domain union writes overlapping cells" stencil
+      d ~code:"SF002" ~severity:Diagnostics.Warning ~part:Srcloc.Domain
+        stencil "domain union writes overlapping cells"
+        ~hint:"make the union's rects pairwise disjoint (point counts and \
+               parallel writes both rely on it)"
   | Sequential_in_place { stencil; offsets } ->
-      Format.fprintf ppf
-        "note: %s: loop-carried dependence at offsets %s (will run \
-         sequentially)"
-        stencil
-        (String.concat ", " (List.map Ivec.to_string offsets))
+      d ~code:"SF003" ~severity:Diagnostics.Note ~part:Srcloc.Whole stencil
+        (Printf.sprintf
+           "loop-carried dependence at offsets %s (will run sequentially)"
+           (String.concat ", " (List.map Ivec.to_string offsets)))
   | Unbound_param { stencil; param } ->
-      Format.fprintf ppf "error: %s: parameter %S is not bound" stencil param
+      d ~code:"SF004" ~severity:Diagnostics.Error
+        ~part:(Srcloc.Param param) stencil
+        (Printf.sprintf "parameter %S is not bound" param)
+        ~hint:
+          (Printf.sprintf "pass ~params:[(%S, value)] at kernel invocation"
+             param)
+
+let pp_issue ppf issue =
+  let d = to_diagnostic issue in
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (Diagnostics.severity_to_string d.Diagnostics.severity)
+    d.Diagnostics.code
+    (Option.value ~default:"?" d.Diagnostics.loc.Srcloc.stencil)
+    d.Diagnostics.message
 
 let issue_to_string i = Format.asprintf "%a" pp_issue i
 
@@ -44,10 +67,14 @@ let stencil_issues ~shape ~grid_shape ~params (s : Stencil.t) =
   (match params with
   | None -> ()
   | Some bound ->
+      let bound = StringSet.of_list bound in
+      let reported = ref StringSet.empty in
       List.iter
         (fun p ->
-          if not (List.mem p bound) then
-            acc := Unbound_param { stencil = s.Stencil.label; param = p } :: !acc)
+          if not (StringSet.mem p bound || StringSet.mem p !reported) then begin
+            reported := StringSet.add p !reported;
+            acc := Unbound_param { stencil = s.Stencil.label; param = p } :: !acc
+          end)
         (Expr.params s.Stencil.expr));
   List.rev !acc
 
@@ -55,3 +82,12 @@ let group ~shape ~grid_shape ?params g =
   List.concat_map
     (stencil_issues ~shape ~grid_shape ~params)
     (Group.stencils g)
+
+let group_diagnostics ~shape ~grid_shape ?params g =
+  List.concat
+    (List.mapi
+       (fun index s ->
+         List.map
+           (to_diagnostic ~group:g.Group.label ~index)
+           (stencil_issues ~shape ~grid_shape ~params s))
+       (Group.stencils g))

@@ -23,6 +23,11 @@ type issue =
 val pp_issue : Format.formatter -> issue -> unit
 val issue_to_string : issue -> string
 
+val to_diagnostic : ?group:string -> ?index:int -> issue -> Diagnostics.t
+(** Bridge onto the structured diagnostics engine: [SF001]–[SF004] with
+    the matching severity and location.  [group]/[index] qualify the
+    location when known. *)
+
 val group :
   shape:Ivec.t ->
   grid_shape:(string -> Ivec.t) ->
@@ -33,6 +38,15 @@ val group :
     scalar names the caller intends to bind; omitted means "don't check
     parameters".  [Sequential_in_place] is informational — the program is
     still correct, just serial at that stencil. *)
+
+val group_diagnostics :
+  shape:Ivec.t ->
+  grid_shape:(string -> Ivec.t) ->
+  ?params:string list ->
+  Group.t ->
+  Diagnostics.t list
+(** Same checks as {!group}, delivered as structured diagnostics with
+    group-qualified locations (the form [Lint.program] aggregates). *)
 
 val is_error : issue -> bool
 (** [Out_of_bounds] and [Unbound_param] make a program unrunnable;

@@ -11,6 +11,8 @@ type t = {
   fuse : bool;
   dce : dce;
   serial_cutoff : int;
+  certify : bool;
+  force_parallel : string list;
 }
 
 and dce = No_dce | Dce of string list
@@ -23,8 +25,17 @@ let env_int name default =
       | _ -> default)
   | None -> default
 
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" | "on" -> true
+      | _ -> false)
+  | None -> false
+
 let default_workers = env_int "SF_WORKERS" 1
 let default_serial_cutoff = env_int "SF_SERIAL_CUTOFF" 1024
+let default_certify = env_flag "SF_VALIDATE"
 
 let default =
   {
@@ -38,6 +49,8 @@ let default =
     fuse = false;
     dce = No_dce;
     serial_cutoff = default_serial_cutoff;
+    certify = default_certify;
+    force_parallel = [];
   }
 
 let with_workers workers t = { t with workers }

@@ -29,6 +29,15 @@ type t = {
           calling domain instead of being dispatched to the pool — the
           adaptive serial fallback that keeps coarse multigrid levels from
           paying dispatch latency for a handful of points *)
+  certify : bool;
+      (** run the [Schedule_check] wave-race certifier once per compile
+          (cache entry); [Jit.compile] raises [Jit.Certification_failed]
+          instead of returning a kernel whose plan it cannot prove
+          race-free *)
+  force_parallel : string list;
+      (** stencil labels asserted safe to tile in parallel even when the
+          analysis cannot prove them point-parallel — a user override;
+          [certify] is the safety net that catches a wrong assertion *)
 }
 
 and dce = No_dce | Dce of string list  (** live output grids *)
@@ -40,10 +49,15 @@ val default_serial_cutoff : int
 (** [SF_SERIAL_CUTOFF] from the environment, else 1024 points (an 8^3
     multigrid level stays inline; 16^3 and up go parallel). *)
 
+val default_certify : bool
+(** [SF_VALIDATE] from the environment ([1]/[true]/[yes]/[on]), else
+    false. *)
+
 val default : t
 (** Sequential-friendly defaults: [workers] = {!default_workers}, no
     explicit tile, [chunks = 8], tall-skinny [8 x 64], multicolor off,
     greedy waves, validation on, no fusion, no DCE,
-    [serial_cutoff] = {!default_serial_cutoff}. *)
+    [serial_cutoff] = {!default_serial_cutoff},
+    [certify] = {!default_certify}, no forced-parallel overrides. *)
 
 val with_workers : int -> t -> t

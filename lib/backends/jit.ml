@@ -3,6 +3,23 @@ open Snowflake
 
 type backend = Interp | Compiled | Openmp | Opencl | Custom of string
 
+exception
+  Certification_failed of {
+    backend : string;
+    group : string;
+    diagnostics : Sf_analysis.Diagnostics.t list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Certification_failed { backend; group; diagnostics } ->
+        Some
+          (Printf.sprintf
+             "Jit.Certification_failed: %s plan for group %s:\n%s" backend
+             group
+             (Sf_analysis.Diagnostics.render diagnostics))
+    | _ -> None)
+
 let backend_name = function
   | Interp -> "interp"
   | Compiled -> "compiled"
@@ -70,6 +87,26 @@ let compile ?(config = Config.default) backend ~shape group =
       (* compile outside the lock: lowering can be slow and must not stall
          concurrent lookups of unrelated kernels *)
       let group = Passes.optimize config ~shape group in
+      (* schedule certification (SF_VALIDATE=1 / Config.certify): prove the
+         plan the backend is about to adopt race-free, once per cache
+         entry — cache hits pay nothing.  A failed compile caches nothing,
+         so a racy plan raises on every attempt. *)
+      if config.Config.certify then begin
+        let diagnostics =
+          match backend with
+          | Openmp -> Schedule_check.certify config ~shape ~backend:`Openmp group
+          | Opencl -> Schedule_check.certify config ~shape ~backend:`Opencl group
+          | Interp | Compiled | Custom _ -> []
+        in
+        if Sf_analysis.Diagnostics.has_errors diagnostics then
+          raise
+            (Certification_failed
+               {
+                 backend = backend_name backend;
+                 group = group.Group.label;
+                 diagnostics;
+               })
+      end;
       let kernel =
         match backend with
         | Interp -> Serial_backend.compile_interp config ~shape group

@@ -20,6 +20,20 @@ type backend = Interp | Compiled | Openmp | Opencl | Custom of string
     hybrid model (Fig. 1c): the framework ships four backends and "allows
     new backends to be added by users" through {!register_backend}. *)
 
+exception
+  Certification_failed of {
+    backend : string;
+    group : string;
+    diagnostics : Sf_analysis.Diagnostics.t list;
+  }
+(** Raised by {!compile} instead of returning a kernel when
+    [Config.certify] is set (e.g. via [SF_VALIDATE=1]) and
+    [Schedule_check.certify] finds an intra-wave race ([SF021]) in the
+    plan the chosen backend would execute.  Certification runs once per
+    cache entry — hot loops replaying a cached kernel pay nothing.  The
+    serial backends and custom backends (whose plans the checker cannot
+    see) are never certified. *)
+
 val backend_name : backend -> string
 
 val backend_of_string : string -> backend option

@@ -19,7 +19,10 @@ type enqueue = {
 
 let plan_stencil (cfg : Config.t) ~shape s =
   let rects = Domain.resolve ~shape s.Stencil.domain in
-  let parallel_ok = Dependence.point_parallel ~shape s in
+  let parallel_ok =
+    Dependence.point_parallel ~shape s
+    || List.mem s.Stencil.label cfg.Config.force_parallel
+  in
   let work_groups =
     if not parallel_ok then rects
     else begin

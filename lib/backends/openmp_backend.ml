@@ -21,7 +21,10 @@ type stencil_plan = {
 
 let plan_stencil (cfg : Config.t) ~shape s =
   let rects = Domain.resolve ~shape s.Stencil.domain in
-  let parallel_ok = Dependence.point_parallel ~shape s in
+  let parallel_ok =
+    Dependence.point_parallel ~shape s
+    || List.mem s.Stencil.label cfg.Config.force_parallel
+  in
   let tiles =
     if not parallel_ok then rects
     else

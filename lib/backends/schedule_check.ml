@@ -3,54 +3,118 @@ open Sf_analysis
 
 type task = { stencil : Stencil.t; tiles : Domain.resolved list }
 
+type conflict = {
+  first : int;
+  second : int;
+  first_label : string;
+  second_label : string;
+  grid : string;
+  kind : string;
+}
+
 let writes_of t =
   List.map (Footprint.affine_image t.stencil.Stencil.out_map) t.tiles
 
-(* reads grouped by grid, imaged over every tile of the task *)
+(* reads grouped by grid, imaged over every tile of the task; a stencil
+   reading the same grid through several maps contributes the union of all
+   their images under one key *)
 let reads_by_grid t =
-  List.map
-    (fun (g, m) -> (g, List.map (Footprint.affine_image m) t.tiles))
-    (Stencil.reads t.stencil)
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (g, m) ->
+      let lats = List.map (Footprint.affine_image m) t.tiles in
+      (match Hashtbl.find_opt tbl g with
+      | None -> order := g :: !order
+      | Some _ -> ());
+      Hashtbl.replace tbl g
+        (Option.value ~default:[] (Hashtbl.find_opt tbl g) @ lats))
+    (Stencil.reads t.stencil);
+  List.rev_map (fun g -> (g, Hashtbl.find tbl g)) !order
 
-let pair_conflict a b =
-  let wa = writes_of a and wb = writes_of b in
-  let ga = a.stencil.Stencil.output and gb = b.stencil.Stencil.output in
-  if String.equal ga gb && Footprint.lattice_lists_intersect wa wb then
-    Some "write/write"
-  else if
-    List.exists
-      (fun (g, lats) ->
-        String.equal g ga && Footprint.lattice_lists_intersect wa lats)
-      (reads_by_grid b)
-  then Some "write/read"
-  else if
-    List.exists
-      (fun (g, lats) ->
-        String.equal g gb && Footprint.lattice_lists_intersect wb lats)
-      (reads_by_grid a)
-  then Some "read/write"
-  else None
-
-let check_wave tasks =
+(* Exhaustive conflict collection.  Tasks are bucketed on grid name first:
+   every conflict involves some task's *output* grid, so only pairs that
+   share a bucket ever reach the (expensive) lattice intersection — the
+   all-pairs loop of the old checker is pruned to writer×writer and
+   writer×reader pairs per grid. *)
+let wave_conflicts tasks =
   let arr = Array.of_list tasks in
   let n = Array.length arr in
-  let result = ref (Ok ()) in
-  (try
-     for i = 0 to n - 1 do
-       for j = i + 1 to n - 1 do
-         match pair_conflict arr.(i) arr.(j) with
-         | Some kind ->
-             result :=
-               Error
-                 (Printf.sprintf "tasks %d (%s) and %d (%s) conflict: %s" i
-                    arr.(i).stencil.Stencil.label j
-                    arr.(j).stencil.Stencil.label kind);
-             raise Exit
-         | None -> ()
-       done
-     done
-   with Exit -> ());
-  !result
+  let writes = Array.map writes_of arr in
+  let reads = Array.map reads_by_grid arr in
+  let push tbl g i =
+    Hashtbl.replace tbl g (i :: Option.value ~default:[] (Hashtbl.find_opt tbl g))
+  in
+  let writers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let readers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    push writers arr.(i).stencil.Stencil.output i;
+    List.iter (fun (g, _) -> push readers g i) reads.(i)
+  done;
+  let conflicts = ref [] in
+  let add i j grid kind =
+    conflicts :=
+      {
+        first = i;
+        second = j;
+        first_label = arr.(i).stencil.Stencil.label;
+        second_label = arr.(j).stencil.Stencil.label;
+        grid;
+        kind;
+      }
+      :: !conflicts
+  in
+  Hashtbl.iter
+    (fun g ws ->
+      (* write/write inside the bucket *)
+      let rec ww = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                if Footprint.lattice_lists_intersect writes.(i) writes.(j)
+                then add i j g "write/write")
+              rest;
+            ww rest
+      in
+      ww ws;
+      (* writer against every reader of the same grid *)
+      List.iter
+        (fun w ->
+          match Hashtbl.find_opt readers g with
+          | None -> ()
+          | Some rs ->
+              List.iter
+                (fun r ->
+                  if r <> w then
+                    let rlats = List.assoc g reads.(r) in
+                    if Footprint.lattice_lists_intersect writes.(w) rlats
+                    then
+                      if w < r then add w r g "write/read"
+                      else add r w g "read/write")
+                rs)
+        ws)
+    writers;
+  List.sort_uniq compare !conflicts
+
+let waves_conflicts waves =
+  List.mapi (fun w wave -> (w, wave_conflicts wave)) waves
+  |> List.filter (fun (_, cs) -> cs <> [])
+
+let conflict_to_string c =
+  Printf.sprintf "tasks %d (%s) and %d (%s) conflict: %s on grid %s" c.first
+    c.first_label c.second c.second_label c.kind c.grid
+
+let check_wave tasks =
+  match wave_conflicts tasks with
+  | [] -> Ok ()
+  | c :: rest ->
+      Error
+        (conflict_to_string c
+        ^
+        match rest with
+        | [] -> ""
+        | _ -> Printf.sprintf " (+%d more)" (List.length rest))
 
 let check_waves waves =
   List.fold_left
@@ -86,3 +150,68 @@ let opencl_plan config ~shape group =
           e.Opencl_backend.work_groups
       else [ { stencil = s; tiles = e.Opencl_backend.work_groups } ])
     (Group.stencils group)
+
+(* ------------------------------------------------------- certification *)
+
+let backend_name = function `Openmp -> "openmp" | `Opencl -> "opencl"
+
+let stencil_index group label =
+  let rec find i = function
+    | [] -> None
+    | (s : Stencil.t) :: rest ->
+        if String.equal s.Stencil.label label then Some i else find (i + 1) rest
+  in
+  find 0 (Group.stencils group)
+
+let certify config ~shape ~backend group =
+  let plan =
+    match backend with
+    | `Openmp -> openmp_plan config ~shape group
+    | `Opencl -> opencl_plan config ~shape group
+  in
+  let bname = backend_name backend in
+  let overrides =
+    List.filter_map
+      (fun label ->
+        match stencil_index group label with
+        | None -> None
+        | Some index ->
+            let s = List.nth (Group.stencils group) index in
+            if Dependence.point_parallel ~shape s then None
+            else
+              Some
+                (Diagnostics.make ~code:"SF022"
+                   ~severity:Diagnostics.Warning
+                   ~loc:
+                     (Srcloc.stencil ~group:group.Group.label ~index label)
+                   ~hint:
+                     "remove the label from Config.force_parallel unless \
+                      the race is provably benign"
+                   (Printf.sprintf
+                      "stencil is forced parallel although the analysis \
+                       found loop-carried dependences; the %s plan tiles it \
+                       concurrently"
+                      bname)))
+      (List.sort_uniq String.compare config.Config.force_parallel)
+  in
+  let races =
+    List.concat_map
+      (fun (w, cs) ->
+        List.map
+          (fun c ->
+            let loc =
+              match stencil_index group c.first_label with
+              | Some index ->
+                  Srcloc.stencil ~group:group.Group.label ~index c.first_label
+              | None -> Srcloc.stencil ~group:group.Group.label c.first_label
+            in
+            Diagnostics.make ~code:"SF021" ~severity:Diagnostics.Error ~loc
+              ~hint:
+                "the tasks need a barrier between them; if a \
+                 Config.force_parallel override is set, it is wrong"
+              (Printf.sprintf "%s plan, wave %d: %s" bname w
+                 (conflict_to_string c)))
+          cs)
+      (waves_conflicts plan)
+  in
+  overrides @ races

@@ -1,14 +1,20 @@
-(** Dynamic-plan conflict checking.
+(** Dynamic-plan conflict checking and schedule certification.
 
     A backend's parallel plan is a list of waves, each wave a set of tasks
     executed concurrently; a task covers one tile (or, for a stencil the
     analysis could not prove point-parallel, its whole domain run
-    sequentially).  [check_wave] verifies the fundamental safety property
-    the Diophantine analysis is supposed to guarantee — no two concurrent
-    tasks touch the same cell with at least one write — by exact lattice
-    intersection over the *actual tiles* of the plan.  The test suite runs
-    it over randomly generated groups as an end-to-end check on the
-    analysis + tiling + scheduling pipeline. *)
+    sequentially).  {!wave_conflicts} verifies the fundamental safety
+    property the Diophantine analysis is supposed to guarantee — no two
+    concurrent tasks touch the same cell with at least one write — by exact
+    lattice intersection over the *actual tiles* of the plan, and reports
+    {e every} conflicting pair, not just the first.  Pairs are pruned by
+    bucketing tasks on grid name: a conflict always involves somebody's
+    output grid, so only writer×writer and writer×reader pairs of the same
+    grid are intersected.
+
+    {!certify} wraps the checker as an [sflint] pass ([SF021]/[SF022]) and
+    is what [Jit.compile] runs under [SF_VALIDATE=1] /
+    [Config.certify]. *)
 
 open Snowflake
 
@@ -16,16 +22,48 @@ type task = { stencil : Stencil.t; tiles : Domain.resolved list }
 (** Lattice points this task iterates; intra-task ordering is sequential,
     so only inter-task overlap is a conflict. *)
 
+type conflict = {
+  first : int;  (** task index within the wave, [first < second] *)
+  second : int;
+  first_label : string;
+  second_label : string;
+  grid : string;  (** the grid on which the tasks collide *)
+  kind : string;  (** ["write/write"], ["write/read"] or ["read/write"] *)
+}
+
+val wave_conflicts : task list -> conflict list
+(** All conflicting pairs of the wave, deduplicated and sorted by task
+    indices; empty iff the wave is race-free. *)
+
+val waves_conflicts : task list list -> (int * conflict list) list
+(** Per-wave conflicts over a whole plan; only non-clean waves appear. *)
+
+val conflict_to_string : conflict -> string
+
 val check_wave : task list -> (unit, string) result
-(** [Error msg] names the first conflicting pair. *)
+(** [Error msg] names the first conflicting pair (and how many more there
+    are) — the historical interface, kept for the property tests. *)
 
 val check_waves : task list list -> (unit, string) result
 
 val openmp_plan :
   Config.t -> shape:Sf_util.Ivec.t -> Group.t -> task list list
-(** The exact wave/task decomposition the OpenMP backend executes. *)
+(** The exact wave/task decomposition the OpenMP backend executes,
+    including [Config.multicolor] tile reordering and
+    [Config.force_parallel] overrides. *)
 
 val opencl_plan :
   Config.t -> shape:Sf_util.Ivec.t -> Group.t -> task list list
 (** Work-group decomposition of the OpenCL backend; each enqueue is its
     own wave (in-order queue). *)
+
+val certify :
+  Config.t ->
+  shape:Sf_util.Ivec.t ->
+  backend:[ `Openmp | `Opencl ] ->
+  Group.t ->
+  Sf_analysis.Diagnostics.t list
+(** Build the backend's plan under the given configuration and report
+    every intra-wave conflict as an [SF021] error, plus an [SF022] warning
+    for each [Config.force_parallel] label that overrides the analysis.
+    An empty (or error-free) result certifies the plan race-free. *)

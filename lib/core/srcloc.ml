@@ -1,0 +1,56 @@
+type part =
+  | Whole
+  | Output
+  | Read of string
+  | Domain
+  | Param of string
+
+type t = {
+  group : string option;
+  stencil : string option;
+  index : int option;
+  part : part;
+}
+
+let group g = { group = Some g; stencil = None; index = None; part = Whole }
+
+let stencil ?group ?index ?(part = Whole) label =
+  { group; stencil = Some label; index; part }
+
+let part_to_string = function
+  | Whole -> ""
+  | Output -> "output"
+  | Read g -> "read " ^ g
+  | Domain -> "domain"
+  | Param p -> "param " ^ p
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  (match t.group with
+  | Some g ->
+      Buffer.add_string buf g;
+      if t.stencil <> None then Buffer.add_char buf '/'
+  | None -> ());
+  (match t.stencil with
+  | Some s -> Buffer.add_string buf s
+  | None -> ());
+  (match t.part with
+  | Whole -> ()
+  | p ->
+      Buffer.add_char buf '#';
+      Buffer.add_string buf (part_to_string p));
+  match Buffer.contents buf with "" -> "<program>" | s -> s
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let compare a b =
+  let c =
+    Option.compare String.compare a.group b.group
+  in
+  if c <> 0 then c
+  else
+    let c = Option.compare Int.compare a.index b.index in
+    if c <> 0 then c
+    else
+      let c = Option.compare String.compare a.stencil b.stencil in
+      if c <> 0 then c else Stdlib.compare a.part b.part

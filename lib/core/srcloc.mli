@@ -1,0 +1,39 @@
+(** Logical source locations inside a stencil program.
+
+    Snowflake programs have no file/line provenance of their own — a group
+    is built either from the embedded OCaml DSL or from an s-expression
+    file — so a "location" is the structural path the scientist thinks in:
+    group → stencil → part of the stencil (the output write, one read, the
+    domain, a parameter).  Every diagnostic the analyzer emits carries one
+    of these, and the renderers in [Sf_analysis.Diagnostics] print them as
+    [group/stencil#part]. *)
+
+type part =
+  | Whole  (** the stencil as a unit *)
+  | Output  (** the write through [out_map] *)
+  | Read of string  (** a read of the named grid *)
+  | Domain  (** the iteration domain / domain union *)
+  | Param of string  (** a scalar parameter occurrence *)
+
+type t = {
+  group : string option;
+  stencil : string option;
+  index : int option;  (** position of the stencil within its group *)
+  part : part;
+}
+
+val group : string -> t
+(** The group as a whole (no stencil). *)
+
+val stencil : ?group:string -> ?index:int -> ?part:part -> string -> t
+(** A stencil (by label), optionally qualified by group and position. *)
+
+val part_to_string : part -> string
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** [group/stencil#part]; omitted levels are skipped, [Whole] prints no
+    [#part] suffix. *)
+
+val compare : t -> t -> int
+(** Program order: by stencil index first (groups sort by name). *)

@@ -532,6 +532,253 @@ let test_validate_findings () =
          | _ -> not (Validate.is_error i))
        issues)
 
+(* --------------------------------------------------------- diagnostics *)
+
+let test_diagnostics_render () =
+  let d =
+    Diagnostics.make ~code:"SF001" ~severity:Diagnostics.Error
+      ~loc:(Srcloc.stencil ~group:"g" ~index:0 ~part:(Srcloc.Read "u") "s")
+      ~hint:"widen" "cell escapes"
+  in
+  Alcotest.(check string) "text form"
+    "error[SF001] g/s#read u: cell escapes\n  hint: widen"
+    (Diagnostics.to_string d);
+  let note =
+    Diagnostics.make ~code:"SF003" ~severity:Diagnostics.Note
+      ~loc:(Srcloc.stencil "lone") "serial"
+  in
+  Alcotest.(check string) "no-hint text" "note[SF003] lone: serial"
+    (Diagnostics.to_string note);
+  check_bool "has_errors" true (Diagnostics.has_errors [ note; d ]);
+  check_bool "no errors" false (Diagnostics.has_errors [ note ]);
+  check_int "count notes" 1 (Diagnostics.count Diagnostics.Note [ note; d ]);
+  (* sort puts program order first: index 0 before index 1, code-stable *)
+  let later =
+    Diagnostics.make ~code:"SF002" ~severity:Diagnostics.Warning
+      ~loc:(Srcloc.stencil ~group:"g" ~index:1 ~part:Srcloc.Domain "t")
+      "overlap"
+  in
+  Alcotest.(check (list string)) "sorted" [ "SF001"; "SF002" ]
+    (List.map
+       (fun (x : Diagnostics.t) -> x.Diagnostics.code)
+       (Diagnostics.sort [ later; d ]));
+  (* the summary line counts severities *)
+  let rendered = Diagnostics.render [ d; later; note ] in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "summary present" true
+    (contains rendered "1 error(s), 1 warning(s), 1 note(s)")
+
+let test_diagnostics_json_golden () =
+  let d1 =
+    Diagnostics.make ~code:"SF001" ~severity:Diagnostics.Error
+      ~loc:(Srcloc.stencil ~group:"g" ~index:0 ~part:(Srcloc.Read "u") "s")
+      ~hint:"widen" "cell escapes"
+  in
+  let d2 =
+    Diagnostics.make ~code:"SF003" ~severity:Diagnostics.Note
+      ~loc:(Srcloc.stencil "lone") "serial"
+  in
+  Alcotest.(check string) "stable JSON shape"
+    ("[{\"code\":\"SF001\",\"severity\":\"error\",\"group\":\"g\","
+   ^ "\"stencil\":\"s\",\"part\":\"read u\",\"message\":\"cell escapes\","
+   ^ "\"hint\":\"widen\"},"
+   ^ "{\"code\":\"SF003\",\"severity\":\"note\",\"group\":null,"
+   ^ "\"stencil\":\"lone\",\"part\":\"\",\"message\":\"serial\","
+   ^ "\"hint\":null}]")
+    (Diagnostics.list_to_json [ d1; d2 ]);
+  Alcotest.(check string) "escaping" "a\\\"b\\\\c\\nd"
+    (Diagnostics.json_escape "a\"b\\c\nd")
+
+(* --------------------------------------------------- witnessed escapes *)
+
+let test_escape_witnesses () =
+  let s =
+    Stencil.make ~label:"lap" ~output:"out"
+      ~expr:Expr.(read "u" (iv [ -1 ]) +: read "u" (iv [ 2 ]))
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  let es =
+    Footprint.escapes ~shape:(iv [ 8 ]) ~grid_shape:(fun _ -> iv [ 8 ]) s
+  in
+  check_int "two escaping reads" 2 (List.length es);
+  let find pred = List.exists pred es in
+  check_bool "low-side witness" true
+    (find (fun e ->
+         e.Footprint.access = `Read
+         && Ivec.equal e.Footprint.cell (iv [ -1 ])
+         && Ivec.equal e.Footprint.widen_lo (iv [ 1 ])
+         && Ivec.equal e.Footprint.widen_hi (iv [ 0 ])));
+  check_bool "high-side witness" true
+    (find (fun e ->
+         Ivec.equal e.Footprint.cell (iv [ 9 ])
+         && Ivec.equal e.Footprint.widen_hi (iv [ 2 ])));
+  (* the in-bounds stencil yields none *)
+  let ok =
+    Stencil.make ~label:"ok" ~output:"out"
+      ~expr:Expr.(read "u" (iv [ -1 ]) +: read "u" (iv [ 1 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  check_int "clean" 0
+    (List.length
+       (Footprint.escapes ~shape:(iv [ 8 ]) ~grid_shape:(fun _ -> iv [ 8 ]) ok))
+
+(* ---------------------------------------------------- dataflow: SF011 *)
+
+let scratch_pipeline () =
+  let writer =
+    Stencil.make ~label:"writer" ~output:"tmp"
+      ~expr:(Expr.read "ext" (iv [ 0 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let reader =
+    Stencil.make ~label:"reader" ~output:"out"
+      ~expr:Expr.(read "tmp" (iv [ -1 ]) +: read "tmp" (iv [ 1 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  Group.make ~label:"pipe" [ writer; reader ]
+
+let test_uninitialized_reads () =
+  let g = scratch_pipeline () in
+  let shape = iv [ 10 ] in
+  (* inferred mode: ext is external (first touch is a read), tmp is group
+     scratch whose ghost cells 0 and 9 are read but never written *)
+  (match Lint.uninitialized_reads ~shape g with
+  | [ d ] ->
+      Alcotest.(check string) "code" "SF011" d.Diagnostics.code;
+      check_bool "warning when inferred" true
+        (d.Diagnostics.severity = Diagnostics.Warning);
+      Alcotest.(check (option string)) "stencil" (Some "reader")
+        d.Diagnostics.loc.Srcloc.stencil;
+      check_bool "counts both ghost cells" true
+        (let m = d.Diagnostics.message in
+         String.length m > 8 && String.sub m 6 9 = "2 cell(s)")
+  | ds -> Alcotest.failf "expected 1 finding, got %d" (List.length ds));
+  (* declared inputs: same finding becomes an error *)
+  (match Lint.uninitialized_reads ~shape ~inputs:[ "ext" ] g with
+  | [ d ] ->
+      check_bool "error when declared" true
+        (d.Diagnostics.severity = Diagnostics.Error)
+  | ds -> Alcotest.failf "expected 1 finding, got %d" (List.length ds));
+  (* declaring tmp as initialized silences it *)
+  check_int "silenced" 0
+    (List.length (Lint.uninitialized_reads ~shape ~inputs:[ "ext"; "tmp" ] g));
+  (* a covering writer silences it too *)
+  let full_writer =
+    Stencil.make ~label:"writer" ~output:"tmp"
+      ~expr:(Expr.read "ext" (iv [ 0 ]))
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  let covered =
+    Group.make ~label:"pipe"
+      [ full_writer; List.nth (Group.stencils g) 1 ]
+  in
+  check_int "covered" 0
+    (List.length
+       (Lint.uninitialized_reads ~shape ~inputs:[ "ext" ] covered))
+
+(* ---------------------------------------------------- dataflow: SF012 *)
+
+let test_dead_stores () =
+  let shape = iv [ 10 ] in
+  let store =
+    Stencil.make ~label:"store" ~output:"d"
+      ~expr:(Expr.read "ext" (iv [ 0 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let overwrite =
+    Stencil.make ~label:"overwrite" ~output:"d"
+      ~expr:Expr.(read "ext" (iv [ 0 ]) *: const 2.)
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  (match Lint.dead_stores ~shape (Group.make ~label:"g" [ store; overwrite ]) with
+  | [ d ] ->
+      Alcotest.(check string) "code" "SF012" d.Diagnostics.code;
+      Alcotest.(check (option string)) "stencil" (Some "store")
+        d.Diagnostics.loc.Srcloc.stencil
+  | ds -> Alcotest.failf "expected 1 finding, got %d" (List.length ds));
+  (* an intervening reader keeps the store alive *)
+  let observer =
+    Stencil.make ~label:"observer" ~output:"out"
+      ~expr:(Expr.read "d" (iv [ 0 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  check_int "observed store kept" 0
+    (List.length
+       (Lint.dead_stores ~shape
+          (Group.make ~label:"g" [ store; observer; overwrite ])));
+  (* partial overwrite is not a dead store *)
+  let partial =
+    Stencil.make ~label:"partial" ~output:"d"
+      ~expr:(Expr.read "ext" (iv [ 0 ]))
+      ~domain:(Domain.of_rect (Domain.rect ~lo:[ 1 ] ~hi:[ 5 ] ()))
+      ()
+  in
+  check_int "partial overwrite kept" 0
+    (List.length
+       (Lint.dead_stores ~shape (Group.make ~label:"g" [ store; partial ])))
+
+(* -------------------------------------------------------- pass driver *)
+
+let test_lint_program_clean () =
+  let group =
+    Group.make ~label:"smooth"
+      (dirichlet_boundaries_2d () @ [ vc_gsrb_color 0; vc_gsrb_color 1 ])
+  in
+  Alcotest.(check (list string)) "no findings" []
+    (List.map Diagnostics.to_string
+       (Lint.program ~shape:shape2 ~grid_shape:(fun _ -> shape2) group))
+
+let test_lint_program_collects_all () =
+  let g = scratch_pipeline () in
+  let oob =
+    Stencil.make ~label:"oob" ~output:"out2"
+      ~expr:Expr.(read "ext" (iv [ -1 ]) *: param "lam")
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  let group = Group.make ~label:"bad" (Group.stencils g @ [ oob ]) in
+  let ds =
+    Lint.program ~shape:(iv [ 10 ])
+      ~grid_shape:(fun _ -> iv [ 10 ])
+      ~params:[ "other" ] ~inputs:[ "ext" ] group
+  in
+  let codes =
+    List.sort_uniq String.compare
+      (List.map (fun (d : Diagnostics.t) -> d.Diagnostics.code) ds)
+  in
+  Alcotest.(check (list string)) "codes" [ "SF001"; "SF004"; "SF011" ] codes
+
+let test_validate_param_dedup () =
+  (* the same unbound parameter used twice reports once *)
+  let s =
+    Stencil.make ~label:"p" ~output:"out"
+      ~expr:Expr.(param "lam" +: (param "lam" *: read "u" (iv [ 0 ])))
+      ~domain:(Domain.interior 1 ~ghost:0)
+      ()
+  in
+  let issues =
+    Validate.group ~shape:(iv [ 8 ])
+      ~grid_shape:(fun _ -> iv [ 8 ])
+      ~params:[] (Group.make ~label:"g" [ s ])
+  in
+  check_int "one report" 1
+    (List.length
+       (List.filter
+          (function Validate.Unbound_param _ -> true | _ -> false)
+          issues))
+
 let () =
   Alcotest.run "sf_analysis"
     [
@@ -582,5 +829,22 @@ let () =
         [
           Alcotest.test_case "clean group" `Quick test_validate_clean_group;
           Alcotest.test_case "findings" `Quick test_validate_findings;
+          Alcotest.test_case "param dedup" `Quick test_validate_param_dedup;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "render" `Quick test_diagnostics_render;
+          Alcotest.test_case "json golden" `Quick
+            test_diagnostics_json_golden;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "escape witnesses" `Quick test_escape_witnesses;
+          Alcotest.test_case "uninitialized reads" `Quick
+            test_uninitialized_reads;
+          Alcotest.test_case "dead stores" `Quick test_dead_stores;
+          Alcotest.test_case "clean program" `Quick test_lint_program_clean;
+          Alcotest.test_case "collects all codes" `Quick
+            test_lint_program_collects_all;
         ] );
     ]

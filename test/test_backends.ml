@@ -716,6 +716,140 @@ let test_checker_rejects_bogus_wave () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "conflicting wave accepted"
 
+let gs_in_place_1d () =
+  Stencil.make ~label:"gs" ~output:"u"
+    ~expr:Expr.(read "u" (iv [ -1 ]) +: read "u" (iv [ 1 ]))
+    ~domain:(Domain.interior 1 ~ghost:1)
+    ()
+
+let test_checker_collects_all_conflicts () =
+  (* four adjacent tiles of an in-place Gauss-Seidel in one wave: every
+     adjacent pair conflicts in both directions, and the checker must
+     report all of them, not stop at the first *)
+  let s = gs_in_place_1d () in
+  let rect = Domain.resolve_rect ~shape:(iv [ 41 ]) (List.hd s.Stencil.domain) in
+  let tiles = Tiling.split_outer ~chunks:4 rect in
+  let wave =
+    List.map (fun t -> Schedule_check.{ stencil = s; tiles = [ t ] }) tiles
+  in
+  let cs = Schedule_check.wave_conflicts wave in
+  check_int "all six conflicts" 6 (List.length cs);
+  List.iter
+    (fun c ->
+      check_bool "ordered pair" true
+        Schedule_check.(c.first < c.second);
+      Alcotest.(check string) "on grid u" "u" c.Schedule_check.grid)
+    cs;
+  let kinds =
+    List.sort_uniq String.compare
+      (List.map (fun c -> c.Schedule_check.kind) cs)
+  in
+  Alcotest.(check (list string)) "both directions" [ "read/write"; "write/read" ]
+    kinds;
+  (* the compat interface surfaces the surplus count *)
+  (match Schedule_check.check_wave wave with
+  | Error msg ->
+      let has_more =
+        let n = String.length msg in
+        let rec go i = i < n && (msg.[i] = '+' || go (i + 1)) in
+        go 0
+      in
+      check_bool "mentions remaining conflicts" true has_more
+  | Ok () -> Alcotest.fail "conflicting wave accepted")
+
+let test_checker_buckets_by_grid () =
+  (* tasks whose footprints overlap cell-wise but live on different grids
+     never reach the lattice intersection *)
+  let mk label out src =
+    Stencil.make ~label ~output:out
+      ~expr:Expr.(read src (iv [ -1 ]) +: read src (iv [ 1 ]))
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let t s =
+    Schedule_check.
+      { stencil = s; tiles = [ Domain.resolve_rect ~shape:(iv [ 20 ]) (List.hd s.Stencil.domain) ] }
+  in
+  check_int "disjoint grids clean" 0
+    (List.length
+       (Schedule_check.wave_conflicts [ t (mk "a" "x" "p"); t (mk "b" "y" "q") ]))
+
+let test_force_parallel_override () =
+  (* force_parallel makes the backend tile a stencil the analysis proved
+     sequential; the certifier is the net that catches the bad assertion *)
+  let group = Group.make ~label:"racy" [ gs_in_place_1d () ] in
+  let shape = iv [ 20 ] in
+  let config =
+    {
+      Config.default with
+      Config.force_parallel = [ "gs" ];
+      workers = 2;
+      (* small work groups so the 1-d domain actually splits on opencl *)
+      tall_skinny = (2, 8);
+    }
+  in
+  (match
+     Schedule_check.check_waves (Schedule_check.openmp_plan config ~shape group)
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forced racy plan certified");
+  let code (d : Sf_analysis.Diagnostics.t) = d.Sf_analysis.Diagnostics.code in
+  List.iter
+    (fun backend ->
+      let diags = Schedule_check.certify config ~shape ~backend group in
+      check_bool "SF021 race reported" true
+        (List.exists
+           (fun d ->
+             code d = "SF021"
+             && d.Sf_analysis.Diagnostics.severity = Sf_analysis.Diagnostics.Error)
+           diags);
+      check_bool "SF022 override warned" true
+        (List.exists (fun d -> code d = "SF022") diags))
+    [ `Openmp; `Opencl ];
+  (* without the override the same group plans sequentially and certifies *)
+  Alcotest.(check (list string)) "default config clean" []
+    (List.map code
+       (Schedule_check.certify Config.default ~shape ~backend:`Openmp group));
+  (* gsrb certifies clean under every config the plan tests cover *)
+  Alcotest.(check (list string)) "gsrb certifies" []
+    (List.map code
+       (Schedule_check.certify
+          { Config.default with multicolor = true }
+          ~shape:(iv [ 12; 12 ]) ~backend:`Openmp (gsrb_group ())))
+
+let test_jit_certification_gate () =
+  Jit.clear_cache ();
+  let shape = iv [ 20 ] in
+  let racy = Group.make ~label:"racy_gate" [ gs_in_place_1d () ] in
+  let config =
+    {
+      Config.default with
+      Config.certify = true;
+      force_parallel = [ "gs" ];
+      workers = 2;
+    }
+  in
+  (match Jit.compile ~config Jit.Openmp ~shape racy with
+  | exception Jit.Certification_failed { backend; diagnostics; _ } ->
+      Alcotest.(check string) "backend named" "openmp" backend;
+      check_bool "carries the race" true
+        (List.exists
+           (fun (d : Sf_analysis.Diagnostics.t) ->
+             d.Sf_analysis.Diagnostics.code = "SF021")
+           diagnostics)
+  | _ -> Alcotest.fail "racy plan compiled under certify");
+  (* a clean group under certify compiles and still computes correctly *)
+  let shape2 = iv [ 12; 12 ] in
+  let group = gsrb_group () in
+  let certified = { Config.default with Config.certify = true } in
+  let ref_grids = fresh_grids_2d shape2 in
+  let grids = fresh_grids_2d shape2 in
+  (Jit.compile Jit.Interp ~shape:shape2 group).Kernel.run ref_grids;
+  (Jit.compile ~config:certified Jit.Openmp ~shape:shape2 group).Kernel.run
+    grids;
+  check_float "certified kernel matches interp" 0.
+    (Mesh.max_abs_diff (Grids.find ref_grids "mesh") (Grids.find grids "mesh"))
+
 let random_plan_prop =
   (* random small groups: every plan the OpenMP backend would execute is
      conflict-free according to the exact lattice checker *)
@@ -1057,6 +1191,12 @@ let () =
             test_checker_accepts_gsrb_plan;
           Alcotest.test_case "bogus wave rejected" `Quick
             test_checker_rejects_bogus_wave;
+          Alcotest.test_case "all conflicts collected" `Quick
+            test_checker_collects_all_conflicts;
+          Alcotest.test_case "grid bucketing" `Quick
+            test_checker_buckets_by_grid;
+          Alcotest.test_case "force_parallel certify" `Quick
+            test_force_parallel_override;
           QCheck_alcotest.to_alcotest random_plan_prop;
         ] );
       ( "passes",
@@ -1078,5 +1218,7 @@ let () =
           Alcotest.test_case "out of bounds" `Quick
             test_validation_out_of_bounds;
           Alcotest.test_case "missing param" `Quick test_missing_param;
+          Alcotest.test_case "certification gate" `Quick
+            test_jit_certification_gate;
         ] );
     ]
