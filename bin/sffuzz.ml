@@ -1,0 +1,138 @@
+(* sffuzz: differential fuzzing and metamorphic testing for the stencil
+   backends.
+
+   Generates seeded random well-formed stencil programs, runs each on the
+   interpreter (semantic oracle) and on every registered backend
+   configuration, and reports any divergence beyond ULP tolerance.  On a
+   failure the program is greedily shrunk and (with --corpus-dir) written
+   out as a replayable .sfl counterexample.  Metamorphic oracles check
+   pool determinism, plan-certification cleanliness and SF011/NaN
+   agreement alongside the differential loop.  --replay-dir re-runs a
+   saved corpus instead of generating.  Exit status: 0 clean, 1 when any
+   divergence/oracle/replay failure, 2 on usage errors. *)
+
+open Cmdliner
+
+let comma_list s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+
+let log quiet msg = if not quiet then Printf.printf "sffuzz: %s\n%!" msg
+
+let run seed count max_dims backend ulps atol shrink max_shrink_evals
+    corpus_dir oracles inject replay_dir quiet =
+  let only =
+    match backend with
+    | "all" -> None
+    | s -> (
+        let names = comma_list s in
+        let known = [ "compiled"; "openmp"; "opencl" ] in
+        match List.filter (fun n -> not (List.mem n known)) names with
+        | [] -> Some names
+        | bad ->
+            Printf.eprintf
+              "sffuzz: unknown backend %s (compiled|openmp|opencl|all, \
+               comma-separable)\n"
+              (String.concat "," bad);
+            exit 2)
+  in
+  let inject =
+    match inject with
+    | None -> None
+    | Some "drop-last-stencil" -> Some Sf_fuzz.Diff.Drop_last_stencil
+    | Some "perturb-first-cell" -> Some Sf_fuzz.Diff.Perturb_first_cell
+    | Some other ->
+        Printf.eprintf
+          "sffuzz: unknown bug %S (drop-last-stencil|perturb-first-cell)\n"
+          other;
+        exit 2
+  in
+  let log = log quiet in
+  match replay_dir with
+  | Some dir ->
+      let files = Sf_fuzz.Corpus.files dir in
+      if files = [] then begin
+        log (Printf.sprintf "no corpus files under %s" dir);
+        exit 0
+      end;
+      let failed = Sf_fuzz.Driver.replay_paths ~ulps ~atol ?only ~log files in
+      log
+        (Printf.sprintf "replayed %d corpus file(s), %d failure(s)"
+           (List.length files) (List.length failed));
+      exit (if failed = [] then 0 else 1)
+  | None ->
+      let opts =
+        {
+          Sf_fuzz.Driver.seed;
+          count;
+          max_dims;
+          ulps;
+          atol;
+          only;
+          shrink;
+          max_shrink_evals;
+          corpus_dir;
+          oracles;
+          inject;
+          log;
+        }
+      in
+      let report = Sf_fuzz.Driver.run opts in
+      let n_fail = List.length report.Sf_fuzz.Driver.failures in
+      log
+        (Printf.sprintf "%d program(s) tested, %d failure(s)"
+           report.Sf_fuzz.Driver.tested n_fail);
+      List.iter
+        (fun (f : Sf_fuzz.Driver.failure) ->
+          Printf.printf "FAILURE (seed %d): %s\n%!" f.Sf_fuzz.Driver.original.Sf_fuzz.Gen.seed
+            f.Sf_fuzz.Driver.detail)
+        report.Sf_fuzz.Driver.failures;
+      exit (Sf_fuzz.Driver.report_exit_code report)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed; program $(i,i) uses seed + $(i,i).")
+
+let count_arg =
+  Arg.(value & opt int 100 & info [ "count" ] ~doc:"Number of programs to generate and check.")
+
+let max_dims_arg =
+  Arg.(value & opt int 3 & info [ "max-dims" ] ~doc:"Maximum dimensionality of generated programs (1-3).")
+
+let backend_arg =
+  Arg.(value & opt string "all" & info [ "backend" ] ~doc:"Backends to differentiate against interp: compiled | openmp | opencl | all (comma-separable).")
+
+let ulps_arg =
+  Arg.(value & opt int 512 & info [ "ulps" ] ~doc:"ULP tolerance for the differential comparison.")
+
+let atol_arg =
+  Arg.(value & opt float 1e-11 & info [ "atol" ] ~doc:"Absolute tolerance (values within it compare equal regardless of ULPs).")
+
+let shrink_arg =
+  Arg.(value & opt bool true & info [ "shrink" ] ~doc:"Greedily minimise failing programs (--shrink=false to disable).")
+
+let shrink_evals_arg =
+  Arg.(value & opt int 400 & info [ "max-shrink-evals" ] ~doc:"Budget of re-executions the shrinker may spend per failure.")
+
+let corpus_arg =
+  Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~doc:"Write shrunk counterexamples as replayable .sfl files under $(docv)." ~docv:"DIR")
+
+let oracles_arg =
+  Arg.(value & opt bool true & info [ "oracles" ] ~doc:"Run the metamorphic oracles (pool determinism, certification gate, SF011/NaN).")
+
+let inject_arg =
+  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell.")
+
+let replay_arg =
+  Arg.(value & opt (some string) None & info [ "replay-dir" ] ~doc:"Replay every .sfl corpus file under $(docv) instead of generating." ~docv:"DIR")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sffuzz"
+       ~doc:"Differential fuzzer and metamorphic test harness for the stencil backends")
+    Term.(
+      const run $ seed_arg $ count_arg $ max_dims_arg $ backend_arg $ ulps_arg
+      $ atol_arg $ shrink_arg $ shrink_evals_arg $ corpus_arg $ oracles_arg
+      $ inject_arg $ replay_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -85,6 +85,14 @@ let pp ppf t =
 
 let rename_output t output = { t with output }
 
+let with_expr t expr =
+  make ~label:t.label ~out_map:t.out_map ~output:t.output ~expr
+    ~domain:t.domain ()
+
+let with_domain t domain =
+  make ~label:t.label ~out_map:t.out_map ~output:t.output ~expr:t.expr ~domain
+    ()
+
 let rename_grids f t =
   { t with output = f t.output; expr = Expr.rename_grids f t.expr }
 let relabel t label = { t with label }

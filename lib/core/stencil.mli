@@ -59,6 +59,14 @@ val rename_output : t -> string -> t
 (** Same stencil writing a different grid (used to make in-place stencils
     out-of-place for oracle comparisons). *)
 
+val with_expr : t -> Expr.t -> t
+(** Same stencil with a replacement expression, revalidated through
+    {!make} (the fuzzer's shrinker rewrites expressions this way). *)
+
+val with_domain : t -> Domain.t -> t
+(** Same stencil over a replacement domain, revalidated through
+    {!make}. *)
+
 val rename_grids : (string -> string) -> t -> t
 (** Apply a grid-name substitution to the output and every read — the
     SPMD idiom: one stencil description instantiated per rank. *)

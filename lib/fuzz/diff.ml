@@ -1,0 +1,122 @@
+open Sf_util
+open Sf_mesh
+open Snowflake
+open Sf_backends
+
+type target = { backend : Jit.backend; config : Config.t; tname : string }
+
+let default_targets ~dims =
+  let w n c = Config.with_workers n c in
+  let tile = Some (List.init dims (fun _ -> 3)) in
+  [
+    { backend = Jit.Compiled; config = Config.default; tname = "compiled" };
+    { backend = Jit.Openmp; config = w 1 Config.default; tname = "openmp/w1" };
+    { backend = Jit.Openmp; config = w 4 Config.default; tname = "openmp/w4" };
+    {
+      backend = Jit.Openmp;
+      config = { (w 2 Config.default) with Config.tile };
+      tname = "openmp/w2/tile";
+    };
+    {
+      backend = Jit.Openmp;
+      config = { (w 4 Config.default) with Config.multicolor = true };
+      tname = "openmp/w4/multicolor";
+    };
+    { backend = Jit.Opencl; config = w 2 Config.default; tname = "opencl/w2" };
+    {
+      backend = Jit.Opencl;
+      config = { (w 2 Config.default) with Config.tall_skinny = (2, 3) };
+      tname = "opencl/w2/ts";
+    };
+  ]
+
+let targets_for ~only ~dims =
+  let all = default_targets ~dims in
+  match only with
+  | None -> all
+  | Some names ->
+      List.filter
+        (fun t -> List.mem (Jit.backend_name t.backend) names)
+        all
+
+type divergence = {
+  target : string;
+  grid : string;
+  point : int list;
+  expected : float;
+  got : float;
+}
+
+let divergence_to_string d =
+  Printf.sprintf "%s diverges from interp on grid %s at (%s): %.17g vs %.17g (%d ulps)"
+    d.target d.grid
+    (String.concat ", " (List.map string_of_int d.point))
+    d.expected d.got
+    (Fcmp.ulp_diff d.expected d.got)
+
+let run_target spec target =
+  let grids = Gen.build_grids spec in
+  let kernel =
+    Jit.compile ~config:target.config target.backend ~shape:spec.shape
+      spec.group
+  in
+  kernel.Kernel.run ~params:spec.params grids;
+  grids
+
+let run_reference spec =
+  run_target spec
+    { backend = Jit.Interp; config = Config.default; tname = "interp" }
+
+let compare_grids ~ulps ~atol ~target reference got =
+  let rec go = function
+    | [] -> Ok ()
+    | name :: rest -> (
+        let a = Grids.find reference name and b = Grids.find got name in
+        match Mesh.first_mismatch ~ulps ~atol a b with
+        | None -> go rest
+        | Some (point, expected, got) ->
+            Error
+              { target; grid = name; point = Array.to_list point; expected; got })
+  in
+  go (Grids.names reference)
+
+let check ?(ulps = 512) ?(atol = 1e-11) ~targets spec =
+  let reference = run_reference spec in
+  let rec go = function
+    | [] -> Ok ()
+    | t :: rest -> (
+        match compare_grids ~ulps ~atol ~target:t.tname reference (run_target spec t) with
+        | Ok () -> go rest
+        | Error d -> Error d)
+  in
+  go targets
+
+(* ------------------------------------------------------ fault injection *)
+
+type bug = Drop_last_stencil | Perturb_first_cell
+
+let buggy_name = "sffuzz-buggy"
+
+let injected_target bug =
+  Jit.register_backend ~name:buggy_name (fun config ~shape group ->
+      match bug with
+      | Drop_last_stencil ->
+          let ss = Group.stencils group in
+          let n = List.length ss in
+          let group' =
+            if n > 1 then
+              Group.make ~label:group.Group.label
+                (List.filteri (fun i _ -> i < n - 1) ss)
+            else group
+          in
+          Serial_backend.compile_compiled config ~shape group'
+      | Perturb_first_cell ->
+          let k = Serial_backend.compile_compiled config ~shape group in
+          let out = (List.hd (Group.stencils group)).Stencil.output in
+          Kernel.make ~name:k.Kernel.name ~backend:buggy_name
+            ~description:"compiled + one perturbed cell"
+            (fun ?params grids ->
+              k.Kernel.run ?params grids;
+              let m = Grids.find grids out in
+              Mesh.set_flat m 0 (Mesh.get_flat m 0 +. 1e-3)));
+  { backend = Jit.Custom buggy_name; config = Config.default; tname = buggy_name }

@@ -1,0 +1,64 @@
+(** Differential execution: one spec, every backend, [interp] as oracle.
+
+    The interpreter walks the expression AST with bounds-checked access
+    and is treated as the semantic ground truth; every other backend (and
+    every interesting configuration of it — worker counts, explicit
+    tiles, multicolor reordering, tall-skinny OpenCL work groups) must
+    reproduce its results up to {!Sf_util.Fcmp.close} tolerance.  A
+    failure is reported with the target, grid, witness cell and both
+    values — everything needed to triage or shrink. *)
+
+type target = {
+  backend : Sf_backends.Jit.backend;
+  config : Sf_backends.Config.t;
+  tname : string;  (** display name, e.g. ["openmp/w4/tile"] *)
+}
+
+val default_targets : dims:int -> target list
+(** The standard matrix: [compiled] (default config), [openmp] at 1 and 4
+    workers, with explicit dims-matched tiles, with multicolor
+    reordering, and [opencl] with default and tall-skinny work groups. *)
+
+val targets_for : only:string list option -> dims:int -> target list
+(** {!default_targets} filtered to the given backend names
+    (["compiled"], ["openmp"], ["opencl"]); [None] keeps all. *)
+
+type divergence = {
+  target : string;
+  grid : string;
+  point : int list;
+  expected : float;  (** interp's value *)
+  got : float;
+}
+
+val divergence_to_string : divergence -> string
+
+val run_reference : Gen.spec -> Sf_mesh.Grids.t
+(** One interp run over fresh grids. *)
+
+val check :
+  ?ulps:int -> ?atol:float -> targets:target list -> Gen.spec ->
+  (unit, divergence) result
+(** Run the spec on [interp] and on every target over identically
+    initialised fresh grids; report the first divergence.  Defaults:
+    [ulps = 512], [atol = 1e-11] — roomy enough for the compiled path's
+    polynomial reassociation, tight enough to catch real bugs (a dropped
+    tap or a skipped cell is wrong by whole values, not ULPs). *)
+
+(** {2 Fault injection}
+
+    For validating the harness itself: a deliberately miscompiled custom
+    backend that the differential loop must catch and the shrinker must
+    minimise. *)
+
+type bug =
+  | Drop_last_stencil
+      (** compiles the group without its final stencil (when it has more
+          than one) — models a lost wave *)
+  | Perturb_first_cell
+      (** runs correctly, then nudges one cell of the first stencil's
+          output by [1e-3] — models a single-lattice-point miscompile *)
+
+val injected_target : bug -> target
+(** Registers (or re-registers) the buggy micro-compiler under the name
+    ["sffuzz-buggy"] and returns a target selecting it. *)

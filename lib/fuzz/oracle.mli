@@ -1,0 +1,32 @@
+(** Metamorphic oracles: cross-checks between the static analysis layer
+    and observed execution, run over generated programs.
+
+    Differential testing catches backends disagreeing with the
+    interpreter; these oracles catch the {e analyzer} disagreeing with
+    reality — the two failure modes PR 1 (persistent pool) and PR 2
+    (sflint/certifier) could have introduced. *)
+
+val pool_determinism : ?workers:int -> Gen.spec -> (unit, string) result
+(** If [Schedule_check.certify] passes the OpenMP plan as race-free at
+    [workers] (default 4), executing it with 1 worker and with [workers]
+    workers must produce bit-identical grids (0-ULP).  Specs whose plan
+    does not certify are skipped ([Ok ()]) — the oracle tests the
+    certifier's promise, not the plan. *)
+
+val certify_clean : Gen.spec -> (unit, string) result
+(** Generated programs are race-free by construction, so the certifier
+    must pass their OpenMP and OpenCL plans, and compiling them under
+    [Config.certify] (the [SF_VALIDATE=1] gate) must never raise
+    [Jit.Certification_failed].  A failure here means the certification
+    gate would reject legitimate user programs. *)
+
+val sf011_nan_agreement : Gen.spec -> (unit, string) result
+(** When [Lint.uninitialized_reads] (with the spec's declared inputs)
+    reports no SF011 error, every value the program computes is a
+    function of declared inputs only — so poisoning all non-input grids
+    with NaN before an interp run must leave NaN {e only} in cells the
+    program never writes.  A NaN that leaks into a written cell means
+    sflint certified an initialization chain that does not exist. *)
+
+val all : Gen.spec -> string list
+(** Every oracle; returns the failure messages (empty = all passed). *)

@@ -1,0 +1,159 @@
+open Snowflake
+
+(* Rebuild a spec around a new stencil list; [None] when the group
+   constructor rejects it (e.g. empty). *)
+let with_stencils (spec : Gen.spec) stencils =
+  match Group.make ~label:spec.group.Group.label stencils with
+  | group -> Some (Gen.restrict_grids { spec with group })
+  | exception Invalid_argument _ -> None
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+(* ------------------------------------------------------ candidate passes *)
+
+let drop_stencil_candidates spec =
+  let ss = Group.stencils spec.Gen.group in
+  if List.length ss <= 1 then []
+  else
+    List.mapi
+      (fun i _ -> with_stencils spec (List.filteri (fun j _ -> j <> i) ss))
+      ss
+
+let drop_rect_candidates spec =
+  let ss = Group.stencils spec.Gen.group in
+  List.concat
+    (List.mapi
+       (fun i (s : Stencil.t) ->
+         if List.length s.Stencil.domain <= 1 then []
+         else
+           List.mapi
+             (fun j _ ->
+               let domain = List.filteri (fun k _ -> k <> j) s.Stencil.domain in
+               match Stencil.with_domain s domain with
+               | s' -> with_stencils spec (replace_nth ss i s')
+               | exception Invalid_argument _ -> None)
+             s.Stencil.domain)
+       ss)
+
+(* Halve the extent of one axis of one rect.  Only absolute bounds
+   (lo >= 0, hi > 0) are rewritten — relative bounds denote "extent minus
+   k" and halving them would grow the rect. *)
+let halve_extent_candidates spec =
+  let ss = Group.stencils spec.Gen.group in
+  List.concat
+    (List.mapi
+       (fun i (s : Stencil.t) ->
+         List.concat
+           (List.mapi
+              (fun j (r : Domain.rect) ->
+                let lo = Array.to_list r.Domain.lo
+                and hi = Array.to_list r.Domain.hi
+                and stride = Array.to_list r.Domain.stride in
+                List.concat
+                  (List.mapi
+                     (fun a (l, h) ->
+                       if l < 0 || h <= 0 || h - l <= 1 then []
+                       else
+                         let h' = l + max 1 ((h - l) / 2) in
+                         if h' >= h then []
+                         else
+                           let rect' =
+                             Domain.rect ~stride ~lo
+                               ~hi:(replace_nth hi a h') ()
+                           in
+                           let domain =
+                             replace_nth s.Stencil.domain j rect'
+                           in
+                           match Stencil.with_domain s domain with
+                           | s' ->
+                               [ with_stencils spec (replace_nth ss i s') ]
+                           | exception Invalid_argument _ -> [])
+                     (List.combine lo hi)))
+              s.Stencil.domain))
+       ss)
+
+(* Replace the [n]-th node (pre-order) of an expression with [Const 0.];
+   [None] when that node is already a constant. *)
+let zero_nth expr n =
+  let counter = ref (-1) in
+  let rec go e =
+    incr counter;
+    if !counter = n then
+      match e with Expr.Const _ -> e | _ -> Expr.const 0.
+    else
+      match e with
+      | Expr.Const _ | Expr.Param _ | Expr.Read _ -> e
+      | Expr.Neg a -> Expr.Neg (go a)
+      | Expr.Add (a, b) ->
+          let a = go a in
+          Expr.Add (a, go b)
+      | Expr.Sub (a, b) ->
+          let a = go a in
+          Expr.Sub (a, go b)
+      | Expr.Mul (a, b) ->
+          let a = go a in
+          Expr.Mul (a, go b)
+      | Expr.Div (a, b) ->
+          let a = go a in
+          Expr.Div (a, go b)
+  in
+  let rewritten = go expr in
+  if Expr.equal rewritten expr then None else Some rewritten
+
+let rec node_count (e : Expr.t) =
+  match e with
+  | Const _ | Param _ | Read _ -> 1
+  | Neg a -> 1 + node_count a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      1 + node_count a + node_count b
+
+let zero_subterm_candidates spec =
+  let ss = Group.stencils spec.Gen.group in
+  List.concat
+    (List.mapi
+       (fun i (s : Stencil.t) ->
+         List.filter_map
+           (fun n ->
+             match zero_nth s.Stencil.expr n with
+             | None -> None
+             | Some expr -> (
+                 match Stencil.with_expr s expr with
+                 | s' -> Some (with_stencils spec (replace_nth ss i s'))
+                 | exception Invalid_argument _ -> None))
+           (List.init (node_count s.Stencil.expr) Fun.id))
+       ss)
+
+(* ---------------------------------------------------------- greedy loop *)
+
+let shrink ?(max_evals = 400) ~fails spec0 =
+  let evals = ref 0 in
+  let passes =
+    [
+      drop_stencil_candidates;
+      drop_rect_candidates;
+      halve_extent_candidates;
+      zero_subterm_candidates;
+    ]
+  in
+  let try_candidate cand =
+    match cand with
+    | None -> None
+    | Some c ->
+        if !evals >= max_evals then None
+        else begin
+          incr evals;
+          if fails c then Some c else None
+        end
+  in
+  let rec improve spec =
+    let step =
+      List.find_map
+        (fun pass -> List.find_map try_candidate (pass spec))
+        passes
+    in
+    match step with
+    | Some smaller when !evals < max_evals -> improve smaller
+    | Some smaller -> smaller
+    | None -> spec
+  in
+  improve spec0

@@ -1,0 +1,21 @@
+(** Greedy counterexample minimisation.
+
+    Given a failing spec and a [fails] predicate (re-running the
+    differential check), repeatedly apply the cheapest semantics-shrinking
+    rewrite that keeps the failure alive, until none applies:
+
+    + drop whole stencils (the big wins come first);
+    + drop member rects of a stencil's domain union;
+    + halve absolute domain extents axis by axis;
+    + replace expression subtrees by [0.] (zeroing weights/taps).
+
+    Every candidate is revalidated through [Stencil.make]/[Group.make];
+    candidates the constructors reject are skipped, so the result is
+    always a well-formed, replayable spec.  Evaluation count is bounded
+    by [max_evals] (the predicate runs the whole backend matrix, so it is
+    the expensive part). *)
+
+val shrink :
+  ?max_evals:int -> fails:(Gen.spec -> bool) -> Gen.spec -> Gen.spec
+(** [max_evals] defaults to 400.  The input spec is assumed to fail;
+    the result still fails and is no larger. *)

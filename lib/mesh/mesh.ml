@@ -165,6 +165,24 @@ let max_abs_diff a b =
 let equal_approx ?(tol = 1e-12) a b =
   Ivec.equal a.shape b.shape && max_abs_diff a b <= tol
 
+let close ?ulps ?atol a b =
+  Ivec.equal a.shape b.shape && Fcmp.array_close ?ulps ?atol a.data b.data
+
+let first_mismatch ?ulps ?atol a b =
+  if not (Ivec.equal a.shape b.shape) then
+    invalid_arg "Mesh.first_mismatch: shape mismatch";
+  match Fcmp.first_mismatch ?ulps ?atol a.data b.data with
+  | None -> None
+  | Some (flat, x, y) ->
+      let point = Array.make (dims a) 0 in
+      let rem = ref flat in
+      let str = strides a in
+      for ax = 0 to dims a - 1 do
+        point.(ax) <- !rem / str.(ax);
+        rem := !rem mod str.(ax)
+      done;
+      Some (point, x, y)
+
 let axpy ~alpha ~x ~y =
   if not (Ivec.equal x.shape y.shape) then invalid_arg "Mesh.axpy: shape mismatch";
   for i = 0 to size x - 1 do

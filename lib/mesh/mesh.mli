@@ -71,6 +71,17 @@ val max_abs_diff : t -> t -> float
 val equal_approx : ?tol:float -> t -> t -> bool
 (** Pointwise comparison with absolute tolerance (default 1e-12). *)
 
+val close : ?ulps:int -> ?atol:float -> t -> t -> bool
+(** Pointwise {!Sf_util.Fcmp.close}: same shape and every point within
+    [ulps] units in the last place or [atol] absolutely.  With the
+    defaults ([ulps = 0], [atol = 0.]) this is bitwise equality modulo
+    NaN — the determinism check the pool regression tests use. *)
+
+val first_mismatch :
+  ?ulps:int -> ?atol:float -> t -> t -> (Ivec.t * float * float) option
+(** Witness point (row-major first) where {!close} fails, with both
+    values — what the differential fuzzer reports on divergence. *)
+
 val axpy : alpha:float -> x:t -> y:t -> unit
 (** [y <- alpha*x + y], shapes must match. *)
 

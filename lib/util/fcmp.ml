@@ -1,0 +1,51 @@
+(* Comparison is defined on the monotone integer image of the double bit
+   pattern: reinterpret the 64 bits, and flip negative values so the line
+   is ordered (two's-complement trick).  Distance on that line counts the
+   representable doubles between two values — the textbook ULP metric. *)
+
+let monotone_bits x =
+  let b = Int64.bits_of_float x in
+  if Int64.compare b 0L < 0 then Int64.sub Int64.min_int b else b
+
+let ulp_diff a b =
+  let a_nan = Float.is_nan a and b_nan = Float.is_nan b in
+  if a_nan || b_nan then (if a_nan && b_nan then 0 else max_int)
+  else if a = b then 0 (* also collapses -0. vs +0. *)
+  else
+    let d = Int64.abs (Int64.sub (monotone_bits a) (monotone_bits b)) in
+    if Int64.compare d (Int64.of_int max_int) >= 0 then max_int
+    else Int64.to_int d
+
+let ulp_equal ?(ulps = 0) a b = ulp_diff a b <= ulps
+
+let close ?(ulps = 0) ?(atol = 0.) a b =
+  ulp_diff a b <= ulps
+  || (atol > 0. && Float.abs (a -. b) <= atol)
+
+let check_lengths a b =
+  if Float.Array.length a <> Float.Array.length b then
+    invalid_arg
+      (Printf.sprintf "Fcmp: length mismatch (%d vs %d)"
+         (Float.Array.length a) (Float.Array.length b))
+
+let array_max_ulp a b =
+  check_lengths a b;
+  let worst = ref 0 in
+  for i = 0 to Float.Array.length a - 1 do
+    let d = ulp_diff (Float.Array.get a i) (Float.Array.get b i) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let first_mismatch ?ulps ?atol a b =
+  check_lengths a b;
+  let n = Float.Array.length a in
+  let rec go i =
+    if i >= n then None
+    else
+      let x = Float.Array.get a i and y = Float.Array.get b i in
+      if close ?ulps ?atol x y then go (i + 1) else Some (i, x, y)
+  in
+  go 0
+
+let array_close ?ulps ?atol a b = first_mismatch ?ulps ?atol a b = None

@@ -196,12 +196,16 @@ let assert_all_backends_agree ?params ~shape group =
       in
       List.iter
         (fun name ->
-          let d =
-            Mesh.max_abs_diff (Grids.find reference name) (Grids.find got name)
-          in
-          if d > 1e-12 then
-            Alcotest.failf "%s differs from interp on %s by %g"
-              (Jit.backend_name backend) name d)
+          match
+            Mesh.first_mismatch ~ulps:256 ~atol:1e-12
+              (Grids.find reference name) (Grids.find got name)
+          with
+          | None -> ()
+          | Some (p, expect, got) ->
+              Alcotest.failf "%s differs from interp on %s at %s: %.17g vs \
+                              %.17g (%d ulps)"
+                (Jit.backend_name backend) name (Ivec.to_string p) expect got
+                (Fcmp.ulp_diff expect got))
         (Grids.names reference))
     [
       (Jit.Compiled, Config.default);
@@ -297,7 +301,7 @@ let test_equiv_strided_restriction () =
       check_bool
         (Jit.backend_name backend ^ " matches")
         true
-        (Mesh.equal_approx
+        (Mesh.close ~ulps:256 ~atol:1e-12
            (Grids.find ref_grids "coarse")
            (Grids.find grids "coarse")))
     [ Jit.Compiled; Jit.Openmp; Jit.Opencl ];
@@ -349,7 +353,7 @@ let test_equiv_interpolation_out_map () =
       check_bool
         (Jit.backend_name backend ^ " matches")
         true
-        (Mesh.equal_approx fine (Grids.find grids "fine")))
+        (Mesh.close ~ulps:256 ~atol:1e-12 fine (Grids.find grids "fine")))
     [ Jit.Compiled; Jit.Openmp; Jit.Opencl ]
 
 (* random-stencil property: all backends match the interpreter *)
@@ -404,7 +408,7 @@ let random_stencil_prop =
       in
       let reference = run Jit.Interp Config.default in
       List.for_all
-        (fun (b, c) -> Mesh.equal_approx reference (run b c))
+        (fun (b, c) -> Mesh.close ~ulps:256 ~atol:1e-12 reference (run b c))
         [
           (Jit.Compiled, Config.default);
           (Jit.Openmp, Config.with_workers 3 Config.default);
@@ -586,7 +590,7 @@ let test_one_dimensional_backends () =
   List.iter
     (fun (b, c) ->
       check_bool (Jit.backend_name b ^ " 1-d") true
-        (Mesh.equal_approx reference (run b c)))
+        (Mesh.close ~ulps:256 ~atol:1e-12 reference (run b c)))
     [
       (Jit.Compiled, Config.default);
       (Jit.Openmp, Config.with_workers 2 Config.default);
@@ -663,7 +667,7 @@ let test_periodic_faces_all_backends () =
   List.iter
     (fun b ->
       check_bool (Jit.backend_name b ^ " periodic") true
-        (Mesh.equal_approx reference (run b)))
+        (Mesh.close ~ulps:256 ~atol:1e-12 reference (run b)))
     [ Jit.Compiled; Jit.Openmp; Jit.Opencl ]
 
 let test_pool_more_workers_than_tasks () =
@@ -930,7 +934,7 @@ let test_fuse_pass_same_output () =
   let plain = run Config.default in
   let fused_result = run { Config.default with fuse = true } in
   check_bool "fusion preserves results" true
-    (Mesh.equal_approx ~tol:1e-12 plain fused_result)
+    (Mesh.close ~ulps:0 plain fused_result)
 
 let test_fuse_pass_respects_liveness () =
   let shape = iv [ 10 ] in
@@ -1041,7 +1045,7 @@ let test_custom_backend_registry () =
   let reference = fresh_grids_2d shape in
   (Jit.compile Jit.Compiled ~shape group).Kernel.run reference;
   check_bool "custom = compiled" true
-    (Mesh.equal_approx (Grids.find grids "mesh") (Grids.find reference "mesh"));
+    (Mesh.close ~ulps:0 (Grids.find grids "mesh") (Grids.find reference "mesh"));
   (* built-in names are protected *)
   (try
      Jit.register_backend ~name:"openmp" (fun c ~shape g ->
@@ -1115,6 +1119,126 @@ let test_missing_param () =
     (2. *. Mesh.get (Grids.find grids "u") (iv [ 3; 3 ]))
     (Mesh.get (Grids.find grids "out") (iv [ 3; 3 ]))
 
+(* --------------------------------------------- degenerate-domain matrix *)
+
+let all_backends = [ Jit.Interp; Jit.Compiled; Jit.Openmp; Jit.Opencl ]
+
+let run_edge backend ~shape ~domain ~expr =
+  let s = Stencil.make ~label:"edge" ~output:"out" ~expr ~domain () in
+  let group = Group.make ~label:"edge" [ s ] in
+  let grids =
+    Grids.of_list
+      [ ("u", Mesh.random ~seed:11 shape); ("out", Mesh.create shape) ]
+  in
+  (Jit.compile backend ~shape group).Kernel.run grids;
+  Grids.find grids "out"
+
+let test_empty_domain_all_backends () =
+  (* lo = hi resolves to zero lattice points: a legal no-op sweep *)
+  let shape = iv [ 8; 8 ] in
+  let domain = Domain.of_rect (Domain.rect ~lo:[ 3; 3 ] ~hi:[ 3; 3 ] ()) in
+  let expr = Expr.(read "u" (iv [ 0; 0 ]) +: const 1.) in
+  List.iter
+    (fun b ->
+      let out = run_edge b ~shape ~domain ~expr in
+      check_bool
+        (Jit.backend_name b ^ " writes nothing")
+        true
+        (Mesh.close ~ulps:0 out (Mesh.create shape)))
+    all_backends
+
+let test_single_cell_domain_all_backends () =
+  let shape = iv [ 8; 8 ] in
+  let domain = Domain.of_rect (Domain.rect ~lo:[ 3; 4 ] ~hi:[ 4; 5 ] ()) in
+  let expr = Expr.(read "u" (iv [ 0; 0 ]) +: const 1.) in
+  let u = Mesh.random ~seed:11 shape in
+  List.iter
+    (fun b ->
+      let out = run_edge b ~shape ~domain ~expr in
+      check_float
+        (Jit.backend_name b ^ " writes the cell")
+        (Mesh.get u (iv [ 3; 4 ]) +. 1.)
+        (Mesh.get out (iv [ 3; 4 ]));
+      (* and only that cell *)
+      Mesh.set out (iv [ 3; 4 ]) 0.;
+      check_bool
+        (Jit.backend_name b ^ " touches nothing else")
+        true
+        (Mesh.close ~ulps:0 out (Mesh.create shape)))
+    all_backends
+
+let test_stride_exceeds_extent_all_backends () =
+  (* stride 50 over an extent of ~8: exactly one lattice point per axis *)
+  let shape = iv [ 8; 10 ] in
+  let domain =
+    Domain.of_rect
+      (Domain.rect ~stride:[ 50; 50 ] ~lo:[ 1; 1 ] ~hi:[ -1; -1 ] ())
+  in
+  let expr = Expr.(read "u" (iv [ 0; 1 ]) *: const 2.) in
+  let reference = run_edge Jit.Interp ~shape ~domain ~expr in
+  check_bool "interp wrote the single point" true
+    (Mesh.get reference (iv [ 1; 1 ]) <> 0.);
+  List.iter
+    (fun b ->
+      check_bool
+        (Jit.backend_name b ^ " agrees")
+        true
+        (Mesh.close ~ulps:0 reference (run_edge b ~shape ~domain ~expr)))
+    all_backends
+
+let test_overlapping_union_all_backends () =
+  (* overlapping union rects are fine out-of-place: the overlap is written
+     twice with the same value, so every schedule lands on the same mesh *)
+  let shape = iv [ 10; 10 ] in
+  let domain =
+    Domain.union
+      (Domain.of_rect (Domain.rect ~lo:[ 1; 1 ] ~hi:[ 6; 6 ] ()))
+      (Domain.of_rect (Domain.rect ~lo:[ 4; 4 ] ~hi:[ 9; 9 ] ()))
+  in
+  let expr =
+    Expr.(
+      (read "u" (iv [ 1; 0 ]) *: const 0.5) +: (read "u" (iv [ -1; 0 ]) *: const 0.5))
+  in
+  let reference = run_edge Jit.Interp ~shape ~domain ~expr in
+  check_bool "overlap region written" true
+    (Mesh.get reference (iv [ 5; 5 ]) <> 0.);
+  List.iter
+    (fun b ->
+      check_bool
+        (Jit.backend_name b ^ " agrees")
+        true
+        (Mesh.close ~ulps:256 ~atol:1e-12 reference
+           (run_edge b ~shape ~domain ~expr)))
+    all_backends
+
+(* ------------------------------------------------------ pool regression *)
+
+let test_pool_worker_count_bitwise () =
+  (* a plan the certifier passes as race-free must be bitwise
+     deterministic across worker counts (SF_WORKERS=1 vs N) *)
+  let shape = iv [ 12; 14 ] in
+  let group = gsrb_group () in
+  let diags =
+    Schedule_check.certify
+      (Config.with_workers 4 Config.default)
+      ~shape ~backend:`Openmp group
+  in
+  check_bool "gsrb certifies race-free" false
+    (Sf_analysis.Diagnostics.has_errors diags);
+  let run workers =
+    let grids = fresh_grids_2d shape in
+    (Jit.compile
+       ~config:(Config.with_workers workers Config.default)
+       Jit.Openmp ~shape group)
+      .Kernel.run grids;
+    Grids.find grids "mesh"
+  in
+  let serial = run 1 in
+  check_bool "1 vs 4 workers bitwise identical" true
+    (Mesh.close ~ulps:0 serial (run 4));
+  check_bool "1 vs 8 workers bitwise identical" true
+    (Mesh.close ~ulps:0 serial (run 8))
+
 let () =
   Alcotest.run "sf_backends"
     [
@@ -1184,6 +1308,16 @@ let () =
             test_pool_more_workers_than_tasks;
           Alcotest.test_case "periodic faces" `Quick
             test_periodic_faces_all_backends;
+          Alcotest.test_case "empty domain" `Quick
+            test_empty_domain_all_backends;
+          Alcotest.test_case "single cell" `Quick
+            test_single_cell_domain_all_backends;
+          Alcotest.test_case "stride > extent" `Quick
+            test_stride_exceeds_extent_all_backends;
+          Alcotest.test_case "overlapping union" `Quick
+            test_overlapping_union_all_backends;
+          Alcotest.test_case "worker-count bitwise" `Quick
+            test_pool_worker_count_bitwise;
         ] );
       ( "schedule-check",
         [

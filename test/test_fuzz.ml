@@ -1,0 +1,193 @@
+(* The fuzz harness tested against itself: generator determinism and
+   validity, the differential loop on clean backends, fault injection
+   (the harness must catch a deliberately buggy backend and shrink the
+   witness), corpus round-tripping, and the metamorphic oracles. *)
+
+open Sf_fuzz
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------ generator *)
+
+let test_gen_deterministic () =
+  for seed = 0 to 19 do
+    let a = Gen.spec ~seed () and b = Gen.spec ~seed () in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d reproduces" seed)
+      (Gen.describe a) (Gen.describe b)
+  done
+
+let test_gen_valid () =
+  for seed = 0 to 49 do
+    let spec = Gen.spec ~seed () in
+    match Gen.validate spec with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d generated an invalid spec: %s" seed e
+  done
+
+let test_gen_seeds_differ () =
+  let a = Gen.spec ~seed:1 () and b = Gen.spec ~seed:2 () in
+  check "different seeds differ" true (Gen.describe a <> Gen.describe b)
+
+let test_gen_max_dims () =
+  for seed = 0 to 29 do
+    let spec = Gen.spec ~max_dims:1 ~seed () in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d is 1-d" seed)
+      1
+      (Sf_util.Ivec.dims spec.Gen.shape)
+  done
+
+(* ----------------------------------------------------------- diff loop *)
+
+let test_diff_clean () =
+  for seed = 100 to 114 do
+    let spec = Gen.spec ~seed () in
+    let targets = Diff.targets_for ~only:None ~dims:(Sf_util.Ivec.dims spec.Gen.shape) in
+    match Diff.check ~targets spec with
+    | Ok () -> ()
+    | Error d ->
+        Alcotest.failf "backends diverge on clean seed %d: %s\n%s" seed
+          (Diff.divergence_to_string d)
+          (Gen.describe spec)
+  done
+
+let find_injected_failure bug =
+  let rec go seed =
+    if seed > 120 then Alcotest.fail "injected bug never triggered"
+    else
+      let spec = Gen.spec ~seed () in
+      let targets =
+        Diff.targets_for ~only:None ~dims:(Sf_util.Ivec.dims spec.Gen.shape)
+        @ [ Diff.injected_target bug ]
+      in
+      match Diff.check ~targets spec with
+      | Error d -> (spec, targets, d)
+      | Ok () -> go (seed + 1)
+  in
+  go 42
+
+let test_injected_bug_caught () =
+  let _, _, d = find_injected_failure Diff.Drop_last_stencil in
+  check "divergence blames the buggy backend" true (d.Diff.target = "sffuzz-buggy")
+
+let test_injected_bug_shrinks () =
+  let spec, targets, _ = find_injected_failure Diff.Drop_last_stencil in
+  let fails s = Result.is_error (Diff.check ~targets s) in
+  let small = Shrink.shrink ~fails spec in
+  check "shrunk spec still fails" true (fails small);
+  let n0 = Snowflake.Group.length spec.Gen.group in
+  let n1 = Snowflake.Group.length small.Gen.group in
+  check "shrinking never grows the program" true (n1 <= n0);
+  (* drop-last only fires on >1 stencil, so the minimum is exactly two *)
+  Alcotest.(check int) "minimal witness has two stencils" 2 n1
+
+let test_perturb_bug_caught () =
+  let _, _, d = find_injected_failure Diff.Perturb_first_cell in
+  check "perturbation caught" true (d.Diff.target = "sffuzz-buggy");
+  (* 1e-3 on one cell: a whole-value bug, far beyond ULP noise *)
+  check "witness magnitude is the injected 1e-3" true
+    (Float.abs (d.Diff.expected -. d.Diff.got) >= 1e-4)
+
+let test_driver_reports_failures () =
+  let opts =
+    {
+      Driver.default_options with
+      Driver.seed = 42;
+      count = 10;
+      oracles = false;
+      inject = Some Diff.Drop_last_stencil;
+    }
+  in
+  let report = Driver.run opts in
+  check "campaign flags at least one failure" true (report.Driver.failures <> []);
+  Alcotest.(check int) "exit code 1" 1 (Driver.report_exit_code report);
+  let clean = Driver.run { opts with Driver.inject = None } in
+  Alcotest.(check int) "clean campaign exits 0" 0
+    (Driver.report_exit_code clean)
+
+(* -------------------------------------------------------------- corpus *)
+
+let test_corpus_roundtrip () =
+  for seed = 200 to 214 do
+    let spec = Gen.spec ~seed () in
+    let text = Corpus.to_string ~note:"roundtrip" spec in
+    match Corpus.of_string ~label:spec.Gen.label text with
+    | Error e -> Alcotest.failf "corpus parse failed for seed %d: %s" seed e
+    | Ok back ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d round-trips" seed)
+          (Gen.describe spec) (Gen.describe back)
+  done
+
+let test_corpus_save_load () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "sffuzz-test-corpus" in
+  let spec = Gen.spec ~seed:77 () in
+  let path = Corpus.save ~dir ~note:"save/load" spec in
+  check "written file is listed" true (List.mem path (Corpus.files dir));
+  (match Corpus.load path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok back ->
+      Alcotest.(check string) "load inverts save" (Gen.describe spec)
+        (Gen.describe back));
+  (match Corpus.replay path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "replay of a clean spec failed: %s" e);
+  Sys.remove path
+
+(* ------------------------------------------------------------- oracles *)
+
+let test_oracles_clean () =
+  for seed = 300 to 314 do
+    let spec = Gen.spec ~seed () in
+    match Oracle.all spec with
+    | [] -> ()
+    | msgs ->
+        Alcotest.failf "oracle failure on seed %d: %s\n%s" seed
+          (String.concat "\n" msgs) (Gen.describe spec)
+  done
+
+let test_certify_gate_never_fires () =
+  (* satellite: under the SF_VALIDATE-style gate, generated (race-free)
+     programs must always pass plan certification on both pool backends *)
+  for seed = 400 to 419 do
+    let spec = Gen.spec ~seed () in
+    match Oracle.certify_clean spec with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s\n%s" seed e (Gen.describe spec)
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "valid" `Quick test_gen_valid;
+          Alcotest.test_case "seeds differ" `Quick test_gen_seeds_differ;
+          Alcotest.test_case "max-dims respected" `Quick test_gen_max_dims;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "clean backends agree" `Quick test_diff_clean;
+          Alcotest.test_case "injected drop caught" `Quick
+            test_injected_bug_caught;
+          Alcotest.test_case "injected drop shrinks" `Quick
+            test_injected_bug_shrinks;
+          Alcotest.test_case "injected perturb caught" `Quick
+            test_perturb_bug_caught;
+          Alcotest.test_case "driver reports failures" `Quick
+            test_driver_reports_failures;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "save/load/replay" `Quick test_corpus_save_load;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "all clean" `Quick test_oracles_clean;
+          Alcotest.test_case "certify gate never fires" `Quick
+            test_certify_gate_never_fires;
+        ] );
+    ]

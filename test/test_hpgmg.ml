@@ -252,8 +252,11 @@ let prepared_pair n =
   (mk (), mk ())
 
 let agree ?(tol = 1e-10) name m1 m2 =
-  let d = Mesh.max_abs_diff m1 m2 in
-  if d > tol then Alcotest.failf "%s: baseline and DSL differ by %g" name d
+  match Mesh.first_mismatch ~ulps:256 ~atol:tol m1 m2 with
+  | None -> ()
+  | Some (p, a, b) ->
+      Alcotest.failf "%s: baseline and DSL differ at %s: %.17g vs %.17g" name
+        (Ivec.to_string p) a b
 
 let run_group level group =
   let kernel = Jit.compile Jit.Compiled ~shape:level.Level.shape group in
@@ -436,9 +439,12 @@ let test_solver_backends_agree () =
   | reference :: others ->
       List.iteri
         (fun i u ->
-          let d = Mesh.max_abs_diff reference u in
-          if d > 1e-11 then
-            Alcotest.failf "backend %d differs from interp by %g" i d)
+          match Mesh.first_mismatch ~ulps:512 ~atol:1e-11 reference u with
+          | None -> ()
+          | Some (p, a, b) ->
+              Alcotest.failf "backend %d differs from interp at %s: %.17g vs \
+                              %.17g"
+                i (Ivec.to_string p) a b)
         others
   | [] -> assert false
 

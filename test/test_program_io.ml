@@ -205,6 +205,26 @@ let io_props =
         | Error _ -> false);
   ]
 
+(* the fuzzer's generated programs, which cover much more of the surface
+   than the handwritten cases (strided/union/face domains, affine reads
+   and out-maps, chained groups), must survive parse ∘ print = id too *)
+let test_generated_program_roundtrip () =
+  for seed = 0 to 99 do
+    let spec = Sf_fuzz.Gen.spec ~seed () in
+    let g = spec.Sf_fuzz.Gen.group in
+    let text = Program_io.group_to_string g in
+    match Program_io.group_of_string text with
+    | Error e -> Alcotest.failf "seed %d: reparse failed: %s\n%s" seed e text
+    | Ok g' ->
+        check_bool
+          (Printf.sprintf "seed %d structural roundtrip" seed)
+          true (Group.equal g g');
+        check_string
+          (Printf.sprintf "seed %d stable rendering" seed)
+          text
+          (Program_io.group_to_string g')
+  done
+
 let () =
   Alcotest.run "program_io"
     [
@@ -222,6 +242,8 @@ let () =
           Alcotest.test_case "handwritten program" `Quick
             test_handwritten_program;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "100 generated programs roundtrip" `Quick
+            test_generated_program_roundtrip;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest io_props);
     ]
