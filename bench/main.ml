@@ -5,18 +5,24 @@
 
    Usage:
      main.exe [command] [--size N] [--sizes 8,16,32] [--cycles N]
-              [--workers N] [--repeats N] [--csv DIR]
+              [--workers N] [--repeats N] [--csv DIR] [--trace FILE]
    command: all (default) | stream | fig7 | fig8 | fig9 | tiling
             | multicolor | waves | fusion | autotune | distributed | verify | codegen
             | micro | pool *)
 
 open Sf_harness
 
+let trace_file = ref None
+
 let parse_args () =
   let opts = ref Experiments.default_opts in
   let cmd = ref "all" in
   let rec go = function
     | [] -> ()
+    | "--trace" :: path :: rest ->
+        trace_file := Some path;
+        Sf_trace.Trace.set_enabled true;
+        go rest
     | "--size" :: v :: rest ->
         opts := { !opts with Experiments.size = int_of_string v };
         go rest
@@ -135,4 +141,11 @@ let () =
   | other ->
       Printf.eprintf "unknown command %S\n" other;
       exit 2);
+  (match !trace_file with
+  | Some path ->
+      Sf_trace.Trace.write_chrome_json path;
+      Printf.printf "wrote Chrome trace (%d events) to %s\n"
+        (List.length (Sf_trace.Trace.events ()))
+        path
+  | None -> ());
   print_newline ()

@@ -7,8 +7,10 @@
 open Cmdliner
 open Sf_backends
 open Sf_hpgmg
+module Trace = Sf_trace.Trace
 
-let run n cycles backend_name workers variable fcycle interp_linear profile =
+let run n cycles backend_name workers variable fcycle interp_linear profile
+    trace_file =
   let backend =
     match Jit.backend_of_string backend_name with
     | Some b -> b
@@ -17,11 +19,25 @@ let run n cycles backend_name workers variable fcycle interp_linear profile =
           backend_name;
         exit 2
   in
+  (* Both sinks ride the same substrate: --profile wants the roofline-joined
+     summary table, --trace wants the Chrome timeline.  Enable tracing and
+     measure STREAM bandwidth *before* any kernel runs, so every kernel span
+     carries its %-of-peak annotation. *)
+  if profile || trace_file <> None then begin
+    Trace.set_enabled true;
+    let bw = Sf_roofline.Stream.measure () in
+    Trace.set_bandwidth_gbs bw;
+    Printf.printf "STREAM bandwidth: %.2f GB/s (roofline reference)\n%!" bw
+  end;
   let config =
     {
       Mg.default_config with
       backend;
-      jit = Config.with_workers workers Config.default;
+      jit =
+        {
+          (Config.with_workers workers Config.default) with
+          Config.trace = profile || trace_file <> None || Config.default_trace;
+        };
       interp = (if interp_linear then Mg.Linear else Mg.Constant);
     }
   in
@@ -68,17 +84,16 @@ let run n cycles backend_name workers variable fcycle interp_linear profile =
       (1. /. float_of_int (n * n))
   end;
   if profile then begin
-    print_endline "\ntiming breakdown (HPGMG-style):";
-    let total =
-      List.fold_left (fun acc (_, s) -> acc +. s) 0. (Mg.profile solver)
-    in
-    List.iter
-      (fun (key, seconds) ->
-        Printf.printf "  %-18s %8.4f s  (%4.1f%%)\n" key seconds
-          (100. *. seconds /. total))
-      (Mg.profile solver);
-    Printf.printf "  %-18s %8.4f s\n" "total (tracked)" total
-  end
+    print_endline "\ntrace summary (roofline-joined):";
+    Sf_trace.Report.print_summary ()
+  end;
+  match trace_file with
+  | Some path ->
+      Trace.write_chrome_json path;
+      Printf.printf "wrote Chrome trace (%d events) to %s\n"
+        (List.length (Trace.events ()))
+        path
+  | None -> ()
 
 let n_arg =
   Arg.(value & opt int 32 & info [ "n"; "size" ] ~doc:"Finest interior size per axis (coarsest * 2^k).")
@@ -107,12 +122,21 @@ let linear_arg =
 let profile_arg =
   Arg.(value & flag & info [ "profile" ] ~doc:"Print the per-level, per-operation timing breakdown.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the solve to $(docv) \
+           (load in chrome://tracing or Perfetto).")
+
 let cmd =
   let doc = "Snowflake-built geometric multigrid (HPGMG reproduction)" in
   Cmd.v
     (Cmd.info "hpgmg_run" ~doc)
     Term.(
       const run $ n_arg $ cycles_arg $ backend_arg $ workers_arg
-      $ variable_arg $ fcycle_arg $ linear_arg $ profile_arg)
+      $ variable_arg $ fcycle_arg $ linear_arg $ profile_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -18,7 +18,7 @@ let operators =
     ("gsrb", Operators.gsrb_smooth, Bound.bytes_vc_gsrb);
   ]
 
-let run op_name n backend_name workers repeats tile autotune =
+let run op_name n backend_name workers repeats tile autotune trace_file =
   let _, group, bytes =
     match List.find_opt (fun (nm, _, _) -> nm = op_name) operators with
     | Some x -> x
@@ -46,13 +46,20 @@ let run op_name n backend_name workers repeats tile autotune =
       sin (3. *. x) *. cos (2. *. (y -. z)));
   Level.fill_interior (Level.f level) level Problem.rhs_sine;
   Baseline.init_dinv level;
+  (* bandwidth must be known before any traced kernel runs so the spans
+     carry their %-of-roofline-peak annotation *)
+  let bw = Stream.measure ~n:1_000_000 ~trials:3 () in
+  if trace_file <> None then begin
+    Sf_trace.Trace.set_enabled true;
+    Sf_trace.Trace.set_bandwidth_gbs bw
+  end;
   let kernel = Jit.compile ~config backend ~shape:level.Level.shape group in
   let dt =
-    Sf_harness.Timer.time ~warmup:1 ~repeats (fun () ->
+    Sf_harness.Timer.time ~label:("bench:" ^ op_name) ~warmup:1 ~repeats
+      (fun () ->
         kernel.Kernel.run ~params:(Level.params level) level.Level.grids)
   in
   let points = float_of_int (n * n * n) in
-  let bw = Stream.measure ~n:1_000_000 ~trials:3 () in
   let host = Machine.host ~bandwidth_gbs:bw () in
   Printf.printf "%s @ %d^3 on %s (workers=%d): %.4f s  = %.2f Mstencil/s\n"
     op_name n (Jit.backend_name backend) workers dt (points /. dt /. 1e6);
@@ -73,7 +80,14 @@ let run op_name n backend_name workers repeats tile autotune =
       | None -> "outer-chunks"
       | Some t -> String.concat "x" (List.map string_of_int t))
       tuned.Config.multicolor dt
-  end
+  end;
+  match trace_file with
+  | Some path ->
+      Sf_trace.Trace.write_chrome_json path;
+      Printf.printf "wrote Chrome trace (%d events) to %s\n"
+        (List.length (Sf_trace.Trace.events ()))
+        path
+  | None -> ()
 
 let op_arg =
   Arg.(value & pos 0 string "gsrb" & info [] ~docv:"OPERATOR" ~doc:"cc7pt | jacobi | gsrb")
@@ -93,11 +107,18 @@ let tile_arg =
 let autotune_arg =
   Arg.(value & flag & info [ "autotune" ] ~doc:"Search tile/multicolor candidates and report the best.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON timeline to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "stencil_bench" ~doc:"Time one stencil operator on one backend")
     Term.(
       const run $ op_arg $ n_arg $ backend_arg $ workers_arg $ repeats_arg
-      $ tile_arg $ autotune_arg)
+      $ tile_arg $ autotune_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ type t = {
   serial_cutoff : int;
   certify : bool;
   force_parallel : string list;
+  trace : bool;
 }
 
 and dce = No_dce | Dce of string list
@@ -36,6 +37,7 @@ let env_flag name =
 let default_workers = env_int "SF_WORKERS" 1
 let default_serial_cutoff = env_int "SF_SERIAL_CUTOFF" 1024
 let default_certify = env_flag "SF_VALIDATE"
+let default_trace = env_flag "SF_TRACE"
 
 let default =
   {
@@ -51,6 +53,7 @@ let default =
     serial_cutoff = default_serial_cutoff;
     certify = default_certify;
     force_parallel = [];
+    trace = default_trace;
   }
 
 let with_workers workers t = { t with workers }

@@ -38,6 +38,11 @@ type t = {
       (** stencil labels asserted safe to tile in parallel even when the
           analysis cannot prove them point-parallel — a user override;
           [certify] is the safety net that catches a wrong assertion *)
+  trace : bool;
+      (** switch the process-global [Sf_trace] substrate on at
+          [Jit.compile] time (equivalent to [SF_TRACE=1]); kernels are
+          always *instrumented* — this flag only flips the recording
+          gate, which costs one atomic load per site when off *)
 }
 
 and dce = No_dce | Dce of string list  (** live output grids *)
@@ -53,11 +58,16 @@ val default_certify : bool
 (** [SF_VALIDATE] from the environment ([1]/[true]/[yes]/[on]), else
     false. *)
 
+val default_trace : bool
+(** [SF_TRACE] from the environment ([1]/[true]/[yes]/[on]), else
+    false. *)
+
 val default : t
 (** Sequential-friendly defaults: [workers] = {!default_workers}, no
     explicit tile, [chunks = 8], tall-skinny [8 x 64], multicolor off,
     greedy waves, validation on, no fusion, no DCE,
     [serial_cutoff] = {!default_serial_cutoff},
-    [certify] = {!default_certify}, no forced-parallel overrides. *)
+    [certify] = {!default_certify}, no forced-parallel overrides,
+    [trace] = {!default_trace}. *)
 
 val with_workers : int -> t -> t

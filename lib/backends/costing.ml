@@ -1,0 +1,68 @@
+open Snowflake
+
+type t = { cells : int; flops : int; bytes : int }
+
+(* operator-node count: the fallback for non-polynomial bodies *)
+let rec expr_ops = function
+  | Expr.Const _ | Expr.Param _ | Expr.Read _ -> 0
+  | Expr.Neg a -> 1 + expr_ops a
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) ->
+      1 + expr_ops a + expr_ops b
+
+(* coeff·r₁·…·r_d is d multiplies; summing m monomials (plus a nonzero
+   constant) is m-1 (resp. m) adds *)
+let poly_ops (p : Polyform.t) =
+  let mults =
+    List.fold_left
+      (fun acc (m : Polyform.mono) -> acc + List.length m.Polyform.reads)
+      0 p.Polyform.monos
+  in
+  let terms =
+    List.length p.Polyform.monos + (if p.Polyform.const <> 0. then 1 else 0)
+  in
+  mults + max 0 (terms - 1)
+
+let of_stencil ~shape (s : Stencil.t) =
+  let cells = Domain.npoints_union (Domain.resolve ~shape s.Stencil.domain) in
+  let flops_per_cell =
+    match Polyform.of_expr ~params:(fun _ -> 1.0) s.Stencil.expr with
+    | Some poly -> poly_ops poly
+    | None -> expr_ops s.Stencil.expr
+  in
+  let read_cells =
+    List.fold_left
+      (fun acc (_, lattices) -> acc + Domain.npoints_union lattices)
+      0
+      (Sf_analysis.Footprint.read_footprint ~shape s)
+  in
+  let out_grid, write_lattices =
+    Sf_analysis.Footprint.write_footprint ~shape s
+  in
+  let write_factor =
+    if List.mem out_grid (Stencil.grids_read s) then 1 else 2
+  in
+  let write_cells = Domain.npoints_union write_lattices in
+  {
+    cells;
+    flops = flops_per_cell * cells;
+    bytes = 8 * (read_cells + (write_factor * write_cells));
+  }
+
+let of_group ~shape (group : Group.t) =
+  List.fold_left
+    (fun acc s ->
+      let c = of_stencil ~shape s in
+      {
+        cells = acc.cells + c.cells;
+        flops = acc.flops + c.flops;
+        bytes = acc.bytes + c.bytes;
+      })
+    { cells = 0; flops = 0; bytes = 0 }
+    (Group.stencils group)
+
+let args t =
+  [
+    ("cells", Sf_trace.Trace.Int t.cells);
+    ("flops", Sf_trace.Trace.Int t.flops);
+    ("bytes", Sf_trace.Trace.Int t.bytes);
+  ]

@@ -1,0 +1,34 @@
+(** Analytic cost annotations for kernel trace spans.
+
+    Devito-style accounting: every compiled kernel knows, from its own
+    intermediate representation, how much arithmetic and memory traffic a
+    single invocation performs — no hardware counters involved.
+
+    - [cells]: lattice points written, summed over the group's stencils
+      ({!Snowflake.Domain.npoints_union} of each resolved domain — exact
+      when write sets are disjoint, which the analysis certifies).
+    - [flops]: per-cell arithmetic × cells.  For polynomial bodies
+      ({!Polyform.of_expr} with all parameters at 1.0) a degree-d monomial
+      costs d multiplies and each monomial beyond the first costs one add;
+      non-polynomial bodies fall back to counting expression-tree
+      operator nodes.
+    - [bytes]: 8 bytes × the read/write footprint sizes
+      ({!Sf_analysis.Footprint}), with the write counted twice
+      (write-allocate + write-back) when the output grid is not already
+      streamed in as a read — the same compulsory-traffic model as
+      [Sf_roofline.Bound.bytes_of_stencil], but exact per-grid footprints
+      instead of whole-grid estimates. *)
+
+open Sf_util
+open Snowflake
+
+type t = { cells : int; flops : int; bytes : int }
+
+val of_stencil : shape:Ivec.t -> Stencil.t -> t
+
+val of_group : shape:Ivec.t -> Group.t -> t
+(** Component-wise sum over the group's stencils. *)
+
+val args : t -> (string * Sf_trace.Trace.arg) list
+(** The [cells]/[flops]/[bytes] span arguments the trace reporter and the
+    Chrome exporter consume. *)

@@ -69,7 +69,36 @@ let cache : (key, Kernel.t) Hashtbl.t = Hashtbl.create 64
 let hits = Atomic.make 0
 let misses = Atomic.make 0
 
+module Trace = Sf_trace.Trace
+
+(* Every compiled kernel is wrapped in a trace guard at compile time, so
+   each invocation — from user code, [Mg], [Spmd] or the bench harness —
+   becomes a [kernel] span attributed to its group and backend and
+   annotated with the analytic cells/flops/bytes of one run.  The span
+   arguments are computed once per cache entry; when tracing is off the
+   wrapper costs one atomic load and a branch. *)
+let instrument ~backend ~shape group (kernel : Kernel.t) =
+  let cost = Costing.of_group ~shape group in
+  let span_args =
+    [
+      ("backend", Trace.Str (backend_name backend));
+      ("group", Trace.Str group.Group.label);
+      ("stencils", Trace.Int (Group.length group));
+    ]
+    @ Costing.args cost
+  in
+  let run ?params grids =
+    if Trace.on () then begin
+      Trace.add Trace.Cells_updated cost.Costing.cells;
+      Trace.span ~args:span_args Trace.Kernel group.Group.label (fun () ->
+          kernel.Kernel.run ?params grids)
+    end
+    else kernel.Kernel.run ?params grids
+  in
+  { kernel with Kernel.run }
+
 let compile ?(config = Config.default) backend ~shape group =
+  if config.Config.trace && not (Trace.on ()) then Trace.set_enabled true;
   let key =
     {
       backend;
@@ -81,45 +110,66 @@ let compile ?(config = Config.default) backend ~shape group =
   match locked (fun () -> Hashtbl.find_opt cache key) with
   | Some kernel ->
       Atomic.incr hits;
+      if Trace.on () then Trace.add Trace.Cache_hits 1;
       kernel
   | None ->
       Atomic.incr misses;
+      if Trace.on () then Trace.add Trace.Cache_misses 1;
       (* compile outside the lock: lowering can be slow and must not stall
          concurrent lookups of unrelated kernels *)
-      let group = Passes.optimize config ~shape group in
-      (* schedule certification (SF_VALIDATE=1 / Config.certify): prove the
-         plan the backend is about to adopt race-free, once per cache
-         entry — cache hits pay nothing.  A failed compile caches nothing,
-         so a racy plan raises on every attempt. *)
-      if config.Config.certify then begin
-        let diagnostics =
-          match backend with
-          | Openmp -> Schedule_check.certify config ~shape ~backend:`Openmp group
-          | Opencl -> Schedule_check.certify config ~shape ~backend:`Opencl group
-          | Interp | Compiled | Custom _ -> []
-        in
-        if Sf_analysis.Diagnostics.has_errors diagnostics then
-          raise
-            (Certification_failed
-               {
-                 backend = backend_name backend;
-                 group = group.Group.label;
-                 diagnostics;
-               })
-      end;
       let kernel =
-        match backend with
-        | Interp -> Serial_backend.compile_interp config ~shape group
-        | Compiled -> Serial_backend.compile_compiled config ~shape group
-        | Openmp -> Openmp_backend.compile config ~shape group
-        | Opencl -> Opencl_backend.compile config ~shape group
-        | Custom name -> (
-            match locked (fun () -> Hashtbl.find_opt registry name) with
-            | Some compiler -> compiler config ~shape group
-            | None ->
-                invalid_arg
-                  (Printf.sprintf "Jit.compile: unknown custom backend %S"
-                     name))
+        Trace.span
+          ~args:
+            [
+              ("backend", Trace.Str (backend_name backend));
+              ("group", Trace.Str group.Group.label);
+            ]
+          Trace.Compile
+          ("compile:" ^ group.Group.label)
+          (fun () ->
+            let group = Passes.optimize config ~shape group in
+            (* schedule certification (SF_VALIDATE=1 / Config.certify):
+               prove the plan the backend is about to adopt race-free, once
+               per cache entry — cache hits pay nothing.  A failed compile
+               caches nothing, so a racy plan raises on every attempt. *)
+            if config.Config.certify then begin
+              let diagnostics =
+                Trace.span Trace.Certify
+                  ("certify:" ^ group.Group.label)
+                  (fun () ->
+                    match backend with
+                    | Openmp ->
+                        Schedule_check.certify config ~shape ~backend:`Openmp
+                          group
+                    | Opencl ->
+                        Schedule_check.certify config ~shape ~backend:`Opencl
+                          group
+                    | Interp | Compiled | Custom _ -> [])
+              in
+              if Sf_analysis.Diagnostics.has_errors diagnostics then
+                raise
+                  (Certification_failed
+                     {
+                       backend = backend_name backend;
+                       group = group.Group.label;
+                       diagnostics;
+                     })
+            end;
+            let kernel =
+              match backend with
+              | Interp -> Serial_backend.compile_interp config ~shape group
+              | Compiled -> Serial_backend.compile_compiled config ~shape group
+              | Openmp -> Openmp_backend.compile config ~shape group
+              | Opencl -> Opencl_backend.compile config ~shape group
+              | Custom name -> (
+                  match locked (fun () -> Hashtbl.find_opt registry name) with
+                  | Some compiler -> compiler config ~shape group
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Jit.compile: unknown custom backend %S" name))
+            in
+            instrument ~backend ~shape group kernel)
       in
       locked (fun () ->
           match Hashtbl.find_opt cache key with

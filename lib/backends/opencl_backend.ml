@@ -65,20 +65,49 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               enqueues;
           List.map
             (fun e ->
-              let instantiate =
-                Exec.prepare_compiled grids ~params:lookup e.stencil
+              let label = e.stencil.Stencil.label in
+              let points = Domain.npoints_union e.work_groups in
+              let thunks =
+                let instantiate =
+                  Exec.prepare_compiled grids ~params:lookup e.stencil
+                in
+                List.map instantiate e.work_groups
               in
-              let thunks = List.map instantiate e.work_groups in
               if e.parallel_ok then
-                `Parallel
-                  (Domain.npoints_union e.work_groups, Array.of_list thunks)
-              else `Sequential (fun () -> List.iter (fun f -> f ()) thunks))
+                `Parallel (label, points, Array.of_list thunks)
+              else
+                `Sequential
+                  (label, points, fun () -> List.iter (fun f -> f ()) thunks))
             enqueues)
     in
-    List.iter
-      (function
-        | `Parallel (points, tasks) -> Pool.run_tasks ~points pool tasks
-        | `Sequential f -> f ())
-      launches
+    let launch = function
+      | `Parallel (_, points, tasks) -> Pool.run_tasks ~points pool tasks
+      | `Sequential (_, _, f) -> f ()
+    in
+    (* each enqueue is a wave: the in-order queue barriers between them *)
+    if Sf_trace.Trace.on () then
+      List.iteri
+        (fun i l ->
+          let module Trace = Sf_trace.Trace in
+          let label, points, tasks =
+            match l with
+            | `Parallel (label, points, tasks) ->
+                (label, points, Array.length tasks)
+            | `Sequential (label, points, _) -> (label, points, 1)
+          in
+          Trace.span
+            ~args:
+              [
+                ("group", Trace.Str group.Group.label);
+                ("wave", Trace.Int i);
+                ("stencil", Trace.Str label);
+                ("points", Trace.Int points);
+                ("tasks", Trace.Int tasks);
+              ]
+            Trace.Wave
+            (Printf.sprintf "%s/wave%d" group.Group.label i)
+            (fun () -> launch l))
+        launches
+    else List.iter launch launches
   in
   Kernel.make ~name:group.Group.label ~backend:"opencl" ~description run

@@ -92,8 +92,25 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               (points, tasks))
             waves)
     in
-    List.iter
-      (fun (points, tasks) -> Pool.run_tasks ~points pool tasks)
-      task_waves
+    if Sf_trace.Trace.on () then
+      List.iteri
+        (fun i (points, tasks) ->
+          let module Trace = Sf_trace.Trace in
+          Trace.span
+            ~args:
+              [
+                ("group", Trace.Str group.Group.label);
+                ("wave", Trace.Int i);
+                ("points", Trace.Int points);
+                ("tasks", Trace.Int (Array.length tasks));
+              ]
+            Trace.Wave
+            (Printf.sprintf "%s/wave%d" group.Group.label i)
+            (fun () -> Pool.run_tasks ~points pool tasks))
+        task_waves
+    else
+      List.iter
+        (fun (points, tasks) -> Pool.run_tasks ~points pool tasks)
+        task_waves
   in
   Kernel.make ~name:group.Group.label ~backend:"openmp" ~description run

@@ -16,6 +16,8 @@
    The join is a fence on [job.pending], not a [Domain.join]: domains are
    spawned once (lazily) and reused by every kernel in the process. *)
 
+module Trace = Sf_trace.Trace
+
 type job = {
   fn : int -> unit;  (* execute chunk [i] *)
   chunks : int;
@@ -68,7 +70,11 @@ let stats () =
     inline_runs = Atomic.get inline_c;
   }
 
+(* Every counter is a session counter: resetting must cover [spawned_c]
+   too, or a later [pp_stats] reports lifetime spawns against per-session
+   jobs/chunks.  [live_domains] is instantaneous, not a counter. *)
 let reset_stats () =
+  Atomic.set spawned_c 0;
   Atomic.set jobs_c 0;
   Atomic.set chunks_c 0;
   Atomic.set stolen_c 0;
@@ -76,8 +82,8 @@ let reset_stats () =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d domain(s) live (%d spawned); %d batch(es) dispatched, %d chunk(s) \
-     (%d stolen by helpers); %d inline run(s)"
+    "%d domain(s) live; since last reset: %d spawned, %d batch(es) \
+     dispatched, %d chunk(s) (%d stolen by helpers); %d inline run(s)"
     s.live_domains s.spawned s.jobs s.chunks s.stolen s.inline_runs
 
 (* ------------------------------------------------------- chunk execution *)
@@ -96,10 +102,20 @@ let run_chunks ~stolen job =
       (match Atomic.get job.failed with
       | Some _ -> ()  (* aborting: drain the index without running *)
       | None -> (
-          try job.fn i
+          try
+            (* disabled-trace hot path: one Atomic.get and a branch *)
+            if Trace.on () then
+              Trace.span
+                ~args:[ ("chunk", Trace.Int i) ]
+                Trace.Chunk "chunk"
+                (fun () -> job.fn i)
+            else job.fn i
           with e -> ignore (Atomic.compare_and_set job.failed None (Some e))));
       Atomic.incr chunks_c;
-      if stolen then Atomic.incr stolen_c;
+      if stolen then begin
+        Atomic.incr stolen_c;
+        if Trace.on () then Trace.add Trace.Chunks_stolen 1
+      end;
       (* last finished chunk releases the submitter's fence *)
       if Atomic.fetch_and_add job.pending (-1) = 1 then begin
         Mutex.lock lock;
@@ -166,6 +182,7 @@ let submit ~helper_cap ~chunks fn =
   slot := Some job;
   incr epoch;
   Atomic.incr jobs_c;
+  if Trace.on () then Trace.add Trace.Chunks_dispatched chunks;
   Condition.broadcast work_available;
   Mutex.unlock lock;
   (* the submitter is a full participant — with no helpers woken yet it
@@ -215,6 +232,7 @@ let sequential = { workers = 1; serial_cutoff = Config.default_serial_cutoff }
 
 let run_inline tasks =
   Atomic.incr inline_c;
+  if Trace.on () then Trace.add Trace.Inline_fallbacks 1;
   Array.iter (fun task -> task ()) tasks
 
 let run_tasks ?points t tasks =
@@ -239,9 +257,23 @@ let parallel_range ?grain t n f =
       | None -> max 1 (n / (t.workers * 4))
     in
     let chunks = (n + grain - 1) / grain in
-    if t.workers <= 1 || chunks = 1 || !(Domain.DLS.get in_task) then begin
+    (* [n] is the lattice-point count of the range, so the view's serial
+       cutoff applies exactly as it does to [run_tasks ~points]: tiny
+       ranges run inline instead of paying pool dispatch.  The inline
+       path still covers the range chunk by chunk, preserving the
+       at-most-[grain] contract of the callback. *)
+    if
+      t.workers <= 1 || chunks = 1 || n < t.serial_cutoff
+      || !(Domain.DLS.get in_task)
+    then begin
       Atomic.incr inline_c;
-      f 0 n
+      if Trace.on () then Trace.add Trace.Inline_fallbacks 1;
+      if chunks = 1 then f 0 n
+      else
+        for c = 0 to chunks - 1 do
+          let lo = c * grain in
+          f lo (min n (lo + grain))
+        done
     end
     else
       submit

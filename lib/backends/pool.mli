@@ -59,7 +59,9 @@ val parallel_range : ?grain:int -> t -> int -> (int -> int -> unit) -> unit
 (** [parallel_range ~grain pool n f] covers [0, n) with disjoint chunks of
     at most [grain] indices and calls [f lo hi] (hi exclusive) for each —
     one closure per *chunk*, not per index.  [grain] defaults to about four
-    chunks per worker. *)
+    chunks per worker.  [n] counts as the batch's lattice points: ranges
+    below the view's serial cutoff run inline (chunk by chunk, on the
+    calling domain) exactly as {!run_tasks} does with a [points] hint. *)
 
 val parallel_for : ?grain:int -> t -> int -> (int -> unit) -> unit
 (** [parallel_for pool n f] runs [f 0 .. f (n-1)]; a thin wrapper over
@@ -70,19 +72,32 @@ val shutdown : unit -> unit
     The pool remains usable afterwards (workers respawn lazily on the next
     parallel batch). *)
 
-(** {2 Instrumentation} *)
+(** {2 Instrumentation}
+
+    [live_domains] is an instantaneous gauge (worker domains currently
+    parked or working); every other field is a session counter covering
+    the window since the last {!reset_stats} — including [spawned], so a
+    report after a reset never mixes lifetime spawns with per-session
+    jobs/chunks.  When tracing is enabled ({!Sf_trace.Trace.on}) the pool
+    additionally mirrors dispatch/steal/inline increments into the trace
+    counters and emits a [chunk] span per executed chunk; when disabled,
+    each instrumentation site costs one atomic load and a branch. *)
 
 type stats = {
-  live_domains : int;  (** worker domains currently parked or working *)
-  spawned : int;  (** domains spawned since program start *)
+  live_domains : int;  (** gauge: worker domains currently alive *)
+  spawned : int;  (** domains spawned since the last {!reset_stats} *)
   jobs : int;  (** parallel batches dispatched through the shared slot *)
   chunks : int;  (** total chunks executed by dispatched batches *)
   stolen : int;  (** chunks executed by helper domains (not the submitter) *)
   inline_runs : int;
       (** batches run inline: sequential views, single tasks, nested
-          submissions and below-cutoff waves *)
+          submissions and below-cutoff waves/ranges *)
 }
 
 val stats : unit -> stats
+
 val reset_stats : unit -> unit
+(** Zero every session counter ([spawned], [jobs], [chunks], [stolen],
+    [inline_runs]).  [live_domains] is unaffected: helpers stay parked. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -14,11 +14,28 @@ let compile_interp (cfg : Config.t) ~shape (group : Group.t) =
   in
   let run ?(params = []) grids =
     let params = Kernel.param_lookup params in
-    List.iter
-      (fun (s, rects) ->
-        if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
-        List.iter (fun r -> Exec.run_rect_interp grids ~params s r) rects)
-      plans
+    let exec (s, rects) =
+      if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
+      List.iter (fun r -> Exec.run_rect_interp grids ~params s r) rects
+    in
+    (* sequential semantics: each stencil is its own wave *)
+    if Sf_trace.Trace.on () then
+      List.iteri
+        (fun i ((s, rects) as plan) ->
+          let module Trace = Sf_trace.Trace in
+          Trace.span
+            ~args:
+              [
+                ("group", Trace.Str group.Group.label);
+                ("wave", Trace.Int i);
+                ("stencil", Trace.Str s.Stencil.label);
+                ("points", Trace.Int (Domain.npoints_union rects));
+              ]
+            Trace.Wave
+            (Printf.sprintf "%s/wave%d" group.Group.label i)
+            (fun () -> exec plan))
+        plans
+    else List.iter exec plans
   in
   Kernel.make ~name:group.Group.label ~backend:"interp"
     ~description:
@@ -35,17 +52,40 @@ let compile_compiled (cfg : Config.t) ~shape (group : Group.t) =
   let cache = Run_cache.create () in
   let names = Group.grids group in
   let run ?(params = []) grids =
+    (* runners stay grouped per stencil so each stencil can be traced as
+       its own (sequential) wave *)
     let runners =
       Run_cache.get cache ~grids ~names ~params (fun () ->
           let lookup = Kernel.param_lookup params in
-          List.concat_map
+          List.map
             (fun (s, rects) ->
               if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
               let instantiate = Exec.prepare_compiled grids ~params:lookup s in
-              List.map instantiate rects)
+              ( s.Stencil.label,
+                Domain.npoints_union rects,
+                List.map instantiate rects ))
             plans)
     in
-    List.iter (fun thunk -> thunk ()) runners
+    if Sf_trace.Trace.on () then
+      List.iteri
+        (fun i (label, points, thunks) ->
+          let module Trace = Sf_trace.Trace in
+          Trace.span
+            ~args:
+              [
+                ("group", Trace.Str group.Group.label);
+                ("wave", Trace.Int i);
+                ("stencil", Trace.Str label);
+                ("points", Trace.Int points);
+              ]
+            Trace.Wave
+            (Printf.sprintf "%s/wave%d" group.Group.label i)
+            (fun () -> List.iter (fun thunk -> thunk ()) thunks))
+        runners
+    else
+      List.iter
+        (fun (_, _, thunks) -> List.iter (fun thunk -> thunk ()) thunks)
+        runners
   in
   Kernel.make ~name:group.Group.label ~backend:"compiled"
     ~description:

@@ -155,7 +155,19 @@ let run_group t group =
     Sf_backends.Jit.compile ~config Sf_backends.Jit.Openmp ~shape:t.shape
       group
   in
-  kernel.Sf_backends.Kernel.run ~params:(params t) t.grids
+  let invoke () = kernel.Sf_backends.Kernel.run ~params:(params t) t.grids in
+  let module Trace = Sf_trace.Trace in
+  if Trace.on () then
+    Trace.span
+      ~args:
+        [
+          ("group", Trace.Str group.Snowflake.Group.label);
+          ("ranks", Trace.Int (List.length (ranks t)));
+        ]
+      Trace.Phase
+      ("spmd:" ^ group.Snowflake.Group.label)
+      invoke
+  else invoke ()
 
 let init_dinv t =
   run_group t

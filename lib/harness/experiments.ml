@@ -126,7 +126,8 @@ let time_group opts backend config level group =
   let kernel =
     Jit.compile ~config backend ~shape:level.Level.shape group
   in
-  Timer.time ~warmup:1 ~repeats:opts.repeats (fun () ->
+  Timer.time ~label:group.Group.label ~warmup:1 ~repeats:opts.repeats
+    (fun () ->
       kernel.Kernel.run ~params:(Level.params level) level.Level.grids)
 
 (* ------------------------------------------------------------------ E2 *)
@@ -193,7 +194,9 @@ let run_fig7 opts =
    whose numbers depend on dispatch overhead. *)
 let report_pool_stats () =
   Printf.printf "pool: %s\n"
-    (Format.asprintf "%a" Pool.pp_stats (Pool.stats ()))
+    (Format.asprintf "%a" Pool.pp_stats (Pool.stats ()));
+  if Sf_trace.Trace.on () then
+    Printf.printf "trace: %s\n" (Sf_trace.Report.counters_line ())
 
 let run_fig8 opts =
   heading "E3 / Fig 8: VC GSRB smoother time vs problem size";

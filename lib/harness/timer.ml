@@ -1,13 +1,22 @@
-let time_once f =
+module Trace = Sf_trace.Trace
+
+let time_once ?label f =
   let t0 = Unix.gettimeofday () in
   f ();
-  Unix.gettimeofday () -. t0
+  let dt = Unix.gettimeofday () -. t0 in
+  (match label with
+  | Some name when Trace.on () ->
+      Trace.record_span Trace.Phase name
+        ~ts_us:(Trace.now_us () -. (dt *. 1e6))
+        ~dur_us:(dt *. 1e6)
+  | _ -> ());
+  dt
 
-let time_all ?(warmup = 1) ?(repeats = 3) f =
+let time_all ?label ?(warmup = 1) ?(repeats = 3) f =
   for _ = 1 to warmup do
     f ()
   done;
-  Array.init repeats (fun _ -> time_once f)
+  Array.init repeats (fun _ -> time_once ?label f)
 
-let time ?warmup ?repeats f =
-  Array.fold_left min infinity (time_all ?warmup ?repeats f)
+let time ?label ?warmup ?repeats f =
+  Array.fold_left min infinity (time_all ?label ?warmup ?repeats f)

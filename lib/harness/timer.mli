@@ -1,15 +1,22 @@
 (** Wall-clock timing helpers for the experiment harness.
 
     The paper's methodology — an untimed warmup phase followed by the
-    benchmarked phase (§V.A) — is baked in. *)
+    benchmarked phase (§V.A) — is baked in.
 
-val time_once : (unit -> unit) -> float
+    Each helper takes an optional [?label]; when given and tracing is on
+    ({!Sf_trace.Trace.on}), every timed sample is also recorded as a
+    [phase] span under that name, so harness measurements land in the same
+    timeline as the kernel and wave spans they contain. *)
+
+val time_once : ?label:string -> (unit -> unit) -> float
 (** Seconds for one invocation. *)
 
-val time : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float
+val time : ?label:string -> ?warmup:int -> ?repeats:int ->
+  (unit -> unit) -> float
 (** Best-of-[repeats] (default 3) wall time after [warmup] (default 1)
     untimed runs.  Best-of is the right estimator for a dedicated machine:
     noise is strictly additive. *)
 
-val time_all : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float array
+val time_all : ?label:string -> ?warmup:int -> ?repeats:int ->
+  (unit -> unit) -> float array
 (** All the timed samples, for dispersion reporting. *)

@@ -35,14 +35,23 @@ type t = {
 let finest t = t.levels.(0)
 let dof t = Level.dof (finest t)
 
-(* wall-time accounting per (operation, level) — the HPGMG breakdown *)
+module Trace = Sf_trace.Trace
+
+(* Wall-time accounting per (operation, level) — the HPGMG breakdown.
+   Exception-safe: a raising [f] still books the time it spent (a partial
+   bottom solve that dies must not vanish from the profile).  With tracing
+   on, each sample is also recorded as a [phase] span. *)
 let timed t key f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  let dt = Unix.gettimeofday () -. t0 in
-  match Hashtbl.find_opt t.timers key with
-  | Some r -> r := !r +. dt
-  | None -> Hashtbl.replace t.timers key (ref dt)
+  let t0_us = Trace.now_us () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur_us = Trace.now_us () -. t0_us in
+      let dt = dur_us *. 1e-6 in
+      (match Hashtbl.find_opt t.timers key with
+      | Some r -> r := !r +. dt
+      | None -> Hashtbl.replace t.timers key (ref dt));
+      if Trace.on () then Trace.record_span Trace.Phase key ~ts_us:t0_us ~dur_us)
+    f
 
 let profile t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.timers []
@@ -179,9 +188,19 @@ let rec cycle t i =
     done
   end
 
-let vcycle t = cycle t 0
+let cycle_args t =
+  [
+    ("levels", Trace.Int (Array.length t.levels));
+    ("dof", Trace.Int (dof t));
+  ]
 
-let fcycle t =
+let vcycle t =
+  if Trace.on () then
+    Trace.span ~args:(cycle_args t) Trace.Vcycle "vcycle" (fun () ->
+        cycle t 0)
+  else cycle t 0
+
+let fcycle_untraced t =
   let nlevels = Array.length t.levels in
   (* push the right-hand side down the hierarchy *)
   for i = 0 to nlevels - 2 do
@@ -199,6 +218,12 @@ let fcycle t =
     interpolate_and_correct t ~coarse:t.levels.(i + 1) ~fine:t.levels.(i);
     cycle t i
   done
+
+let fcycle t =
+  if Trace.on () then
+    Trace.span ~args:(cycle_args t) Trace.Vcycle "fcycle" (fun () ->
+        fcycle_untraced t)
+  else fcycle_untraced t
 
 let residual_norm t =
   compute_residual t 0;

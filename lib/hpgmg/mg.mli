@@ -78,6 +78,13 @@ val solve : ?cycles:int -> t -> float array
 val dof : t -> int
 (** Unknowns on the finest level. *)
 
+val timed : t -> string -> (unit -> unit) -> unit
+(** [timed t key f] runs [f] and adds its wall time to [t]'s profile under
+    [key].  Exception-safe: if [f] raises, the elapsed time is still booked
+    before the exception propagates.  With tracing on
+    ({!Sf_trace.Trace.on}), each sample is also recorded as a [phase]
+    span. *)
+
 val profile : t -> (string * float) list
 (** Accumulated wall time per (operation, level), sorted descending —
     HPGMG's characteristic timing breakdown.  Keys: ["smooth L<i>"],

@@ -1,0 +1,31 @@
+(** A minimal JSON value type with a renderer and parser.
+
+    Just enough JSON for the Chrome [trace_event] exporter and its
+    round-trip tests — no dependency on external JSON packages.  The
+    renderer prints floats so that [of_string (to_string v)] reproduces
+    [v] exactly; the parser accepts arbitrary well-formed JSON (escapes
+    included), decoding [\uXXXX] below 128 to the ASCII character and
+    anything above to ['?'] (trace payloads in this repository are
+    ASCII). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries the byte
+    offset of the first offending character. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order, numbers bitwise
+    (NaN equals NaN). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

@@ -105,6 +105,50 @@ let test_pool_serial_cutoff () =
   check_int "no hint: dispatched" 2 (Pool.stats ()).Pool.jobs;
   check_bool "every batch ran fully" true (Array.for_all (( = ) 3) ran)
 
+let test_parallel_range_serial_cutoff () =
+  (* regression: parallel_range must honour the view's serial cutoff the
+     same way run_tasks does with a ~points hint — n counts as the range's
+     lattice points.  Before the fix the cutoff was never consulted and a
+     100-point range was published to the pool. *)
+  let pool = Pool.create ~workers:4 |> Pool.with_serial_cutoff 1000 in
+  Pool.reset_stats ();
+  let seen = Array.make 100 0 in
+  Pool.parallel_range ~grain:7 pool 100 (fun lo hi ->
+      check_bool "grain bound" true (hi - lo <= 7 && lo < hi);
+      for i = lo to hi - 1 do
+        seen.(i) <- seen.(i) + 1
+      done);
+  check_bool "covers [0,n) exactly once" true (Array.for_all (( = ) 1) seen);
+  check_int "below cutoff: no dispatch" 0 (Pool.stats ()).Pool.jobs;
+  check_int "below cutoff: counted inline" 1 (Pool.stats ()).Pool.inline_runs;
+  (* above the cutoff the range still goes to the pool *)
+  let acc = Atomic.make 0 in
+  Pool.parallel_range pool 5000 (fun lo hi ->
+      ignore (Atomic.fetch_and_add acc (hi - lo)));
+  check_int "above cutoff: dispatched" 1 (Pool.stats ()).Pool.jobs;
+  check_int "above cutoff: covered" 5000 (Atomic.get acc)
+
+let test_reset_stats_resets_spawned () =
+  (* regression: reset_stats used to zero every counter except spawned, so
+     a post-reset report mixed lifetime spawns with per-session numbers *)
+  let pool = Pool.create ~workers:4 in
+  (* park-and-join any live workers so the next dispatch must respawn *)
+  Pool.shutdown ();
+  Pool.reset_stats ();
+  Pool.run_tasks pool (Array.init 16 (fun _ () -> ()));
+  check_bool "workers were spawned" true ((Pool.stats ()).Pool.spawned > 0);
+  Pool.reset_stats ();
+  let s = Pool.stats () in
+  check_int "spawned reset" 0 s.Pool.spawned;
+  check_int "jobs reset" 0 s.Pool.jobs;
+  check_int "chunks reset" 0 s.Pool.chunks;
+  check_int "stolen reset" 0 s.Pool.stolen;
+  check_int "inline reset" 0 s.Pool.inline_runs;
+  (* the gauge survives: hot workers stay parked, and the next batch
+     reuses them without new spawns *)
+  Pool.run_tasks pool (Array.init 16 (fun _ () -> ()));
+  check_int "hot workers reused, none spawned" 0 (Pool.stats ()).Pool.spawned
+
 (* -------------------------------------------------------------- Tiling *)
 
 let resolved lo hi stride shape =
@@ -1257,6 +1301,10 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
           Alcotest.test_case "serial cutoff" `Quick test_pool_serial_cutoff;
+          Alcotest.test_case "parallel_range serial cutoff" `Quick
+            test_parallel_range_serial_cutoff;
+          Alcotest.test_case "reset_stats resets spawned" `Quick
+            test_reset_stats_resets_spawned;
         ] );
       ( "tiling",
         [

@@ -508,6 +508,21 @@ let test_profile_breakdown () =
   Alcotest.(check (list string)) "reset" []
     (List.map fst (Mg.profile solver))
 
+let test_timed_exception_safe () =
+  (* regression: a raising body used to vanish from the profile — the
+     sample was only booked after [f ()] returned normally *)
+  let solver = Mg.create ~n:16 () in
+  Mg.reset_profile solver;
+  (try
+     Mg.timed solver "doomed" (fun () -> failwith "boom")
+   with Failure m -> Alcotest.(check string) "re-raised" "boom" m);
+  (match List.assoc_opt "doomed" (Mg.profile solver) with
+  | Some t -> check_bool "partial time booked" true (t >= 0.)
+  | None -> Alcotest.fail "raising phase dropped from the profile");
+  (* the sample accumulates with later successful runs under the same key *)
+  Mg.timed solver "doomed" (fun () -> ());
+  check_int "still one key" 1 (List.length (Mg.profile solver))
+
 let test_create_validation () =
   (try
      ignore (Mg.create ~n:12 ());
@@ -602,6 +617,8 @@ let () =
             test_create_validation;
           Alcotest.test_case "profile breakdown" `Quick
             test_profile_breakdown;
+          Alcotest.test_case "timed exception-safe" `Quick
+            test_timed_exception_safe;
           Alcotest.test_case "helmholtz" `Quick test_helmholtz_smoother;
         ] );
       ( "level",

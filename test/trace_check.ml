@@ -1,0 +1,77 @@
+(* Validates an exported Chrome trace_event file (the @trace alias):
+   - the file parses as JSON and round-trips exactly through the printer;
+   - traceEvents is a non-empty array;
+   - every kernel span carries backend + group attribution and the
+     analytic cells/flops/bytes cost annotations.
+   Exit 0 on success, 1 (with a message) on any violation. *)
+
+open Sf_trace
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("trace_check: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: trace_check FILE.json";
+        exit 2
+  in
+  let text = read_file path in
+  let doc =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse as JSON: %s" path e
+  in
+  (* round-trip: print and reparse must reproduce the same document *)
+  (match Json.of_string (Json.to_string doc) with
+  | Ok j when Json.equal j doc -> ()
+  | Ok _ -> fail "%s does not round-trip through the printer" path
+  | Error e -> fail "%s: printed form fails to reparse: %s" path e);
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> fail "%s has no traceEvents array" path
+  in
+  if events = [] then fail "%s has an empty traceEvents array" path;
+  let kernels = ref 0 in
+  List.iter
+    (fun ev ->
+      match Json.member "cat" ev with
+      | Some (Json.Str "kernel") ->
+          incr kernels;
+          let args =
+            match Json.member "args" ev with
+            | Some a -> a
+            | None -> fail "kernel event without args: %s" (Json.to_string ev)
+          in
+          let num key =
+            match Json.member key args with
+            | Some (Json.Num _) -> ()
+            | _ ->
+                fail "kernel event missing numeric %S arg: %s" key
+                  (Json.to_string ev)
+          in
+          let str key =
+            match Json.member key args with
+            | Some (Json.Str _) -> ()
+            | _ ->
+                fail "kernel event missing string %S arg: %s" key
+                  (Json.to_string ev)
+          in
+          num "cells";
+          num "flops";
+          num "bytes";
+          str "backend";
+          str "group"
+      | _ -> ())
+    events;
+  if !kernels = 0 then fail "%s contains no kernel spans" path;
+  Printf.printf "trace_check: %s ok (%d events, %d kernel spans)\n" path
+    (List.length events) !kernels
