@@ -10,7 +10,7 @@ open Sf_hpgmg
 module Trace = Sf_trace.Trace
 
 let run n cycles backend_name workers variable fcycle interp_linear profile
-    trace_file =
+    trace_file faults guard =
   let backend =
     match Jit.backend_of_string backend_name with
     | Some b -> b
@@ -19,6 +19,25 @@ let run n cycles backend_name workers variable fcycle interp_linear profile
           backend_name;
         exit 2
   in
+  (* --faults/--guard mirror the SF_FAULTS/SF_GUARD environment switches;
+     the flag wins when both are given. *)
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Sf_resilience.Fault.arm_string spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "hpgmg_run: bad --faults spec: %s\n" msg;
+          exit 2));
+  (match guard with
+  | None -> ()
+  | Some "sample" -> Sf_resilience.Guard.set_mode Sf_resilience.Guard.Sample
+  | Some "full" -> Sf_resilience.Guard.set_mode Sf_resilience.Guard.Full
+  | Some "off" -> Sf_resilience.Guard.set_mode Sf_resilience.Guard.Off
+  | Some other ->
+      Printf.eprintf "hpgmg_run: unknown --guard mode %S (sample|full|off)\n"
+        other;
+      exit 2);
   (* Both sinks ride the same substrate: --profile wants the roofline-joined
      summary table, --trace wants the Chrome timeline.  Enable tracing and
      measure STREAM bandwidth *before* any kernel runs, so every kernel span
@@ -61,8 +80,20 @@ let run n cycles backend_name workers variable fcycle interp_linear profile
     Mg.fcycle solver;
     Printf.printf "F-cycle residual: %.6e\n" (Mg.residual_norm solver)
   end;
-  let norms = Mg.solve ~cycles solver in
+  let supervised =
+    Sf_resilience.Fault.armed () || Sf_resilience.Guard.active ()
+  in
+  let norms =
+    if supervised then Mg.solve_resilient ~cycles solver
+    else Mg.solve ~cycles solver
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  if supervised && Jit.backend_name (Mg.active_backend solver)
+                   <> Jit.backend_name backend
+  then
+    Printf.printf "backend failover: %s -> %s\n"
+      (Jit.backend_name backend)
+      (Jit.backend_name (Mg.active_backend solver));
   Array.iteri
     (fun i r ->
       if i = 0 then Printf.printf "initial residual: %.6e\n" r
@@ -131,12 +162,39 @@ let trace_arg =
           "Write a Chrome trace_event JSON timeline of the solve to $(docv) \
            (load in chrome://tracing or Perfetto).")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm a fault-injection campaign (same grammar as $(b,SF_FAULTS); \
+           the flag wins when both are set): comma-separated \
+           $(i,site:kind) clauses with optional $(i,@p=)/$(i,@n=)/\
+           $(i,@count=)/$(i,@seed=)/$(i,@match=) modifiers, e.g. \
+           $(b,kernel:raise\\@match=openmp,wave:transient\\@n=2).  An armed \
+           campaign also switches the solve to the supervised path \
+           (retry, backend failover, checkpoint/rollback); see \
+           docs/RESILIENCE.md.")
+
+let guard_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "guard" ] ~docv:"MODE"
+        ~doc:
+          "Force the post-run NaN/Inf guard mode (mirrors $(b,SF_GUARD)): \
+           $(b,sample) scans ~1024 strided points per output grid, \
+           $(b,full) scans every point, $(b,off) disables scanning even \
+           under an armed fault campaign.")
+
 let cmd =
   let doc = "Snowflake-built geometric multigrid (HPGMG reproduction)" in
   Cmd.v
     (Cmd.info "hpgmg_run" ~doc)
     Term.(
       const run $ n_arg $ cycles_arg $ backend_arg $ workers_arg
-      $ variable_arg $ fcycle_arg $ linear_arg $ profile_arg $ trace_arg)
+      $ variable_arg $ fcycle_arg $ linear_arg $ profile_arg $ trace_arg
+      $ faults_arg $ guard_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -40,9 +40,12 @@ let run seed count max_dims backend ulps atol shrink max_shrink_evals
     | None -> None
     | Some "drop-last-stencil" -> Some Sf_fuzz.Diff.Drop_last_stencil
     | Some "perturb-first-cell" -> Some Sf_fuzz.Diff.Perturb_first_cell
+    | Some "kernel-raise" -> Some Sf_fuzz.Diff.Kernel_raise
+    | Some "nan-poison" -> Some Sf_fuzz.Diff.Nan_poison_cell
     | Some other ->
         Printf.eprintf
-          "sffuzz: unknown bug %S (drop-last-stencil|perturb-first-cell)\n"
+          "sffuzz: unknown bug %S \
+           (drop-last-stencil|perturb-first-cell|kernel-raise|nan-poison)\n"
           other;
         exit 2
   in
@@ -119,7 +122,7 @@ let oracles_arg =
   Arg.(value & opt bool true & info [ "oracles" ] ~doc:"Run the metamorphic oracles (pool determinism, certification gate, SF011/NaN).")
 
 let inject_arg =
-  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell.")
+  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell | kernel-raise | nan-poison.")
 
 let replay_arg =
   Arg.(value & opt (some string) None & info [ "replay-dir" ] ~doc:"Replay every .sfl corpus file under $(docv) instead of generating." ~docv:"DIR")

@@ -14,6 +14,7 @@ type t = {
   certify : bool;
   force_parallel : string list;
   trace : bool;
+  faults : string option;
 }
 
 and dce = No_dce | Dce of string list
@@ -39,6 +40,11 @@ let default_serial_cutoff = env_int "SF_SERIAL_CUTOFF" 1024
 let default_certify = env_flag "SF_VALIDATE"
 let default_trace = env_flag "SF_TRACE"
 
+let default_faults =
+  match Sys.getenv_opt "SF_FAULTS" with
+  | Some s when String.trim s <> "" -> Some s
+  | _ -> None
+
 let default =
   {
     workers = default_workers;
@@ -54,6 +60,7 @@ let default =
     certify = default_certify;
     force_parallel = [];
     trace = default_trace;
+    faults = default_faults;
   }
 
 let with_workers workers t = { t with workers }

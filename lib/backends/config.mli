@@ -43,6 +43,11 @@ type t = {
           [Jit.compile] time (equivalent to [SF_TRACE=1]); kernels are
           always *instrumented* — this flag only flips the recording
           gate, which costs one atomic load per site when off *)
+  faults : string option;
+      (** fault-injection spec armed at [Jit.compile] time (the [--faults]
+          CLI flag / [SF_FAULTS]; grammar in [Sf_resilience.Fault]);
+          [None] leaves the current arming untouched, so a spec armed via
+          the environment at load time stays in force *)
 }
 
 and dce = No_dce | Dce of string list  (** live output grids *)
@@ -62,12 +67,15 @@ val default_trace : bool
 (** [SF_TRACE] from the environment ([1]/[true]/[yes]/[on]), else
     false. *)
 
+val default_faults : string option
+(** [SF_FAULTS] from the environment when non-empty, else [None]. *)
+
 val default : t
 (** Sequential-friendly defaults: [workers] = {!default_workers}, no
     explicit tile, [chunks = 8], tall-skinny [8 x 64], multicolor off,
     greedy waves, validation on, no fusion, no DCE,
     [serial_cutoff] = {!default_serial_cutoff},
     [certify] = {!default_certify}, no forced-parallel overrides,
-    [trace] = {!default_trace}. *)
+    [trace] = {!default_trace}, [faults] = {!default_faults}. *)
 
 val with_workers : int -> t -> t

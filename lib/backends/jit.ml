@@ -70,6 +70,23 @@ let hits = Atomic.make 0
 let misses = Atomic.make 0
 
 module Trace = Sf_trace.Trace
+module Fault = Sf_resilience.Fault
+
+(* The "kernel" fault site lives in the instrument wrapper, so every
+   backend inherits it.  Raise/Transient abort the invocation before any
+   wave runs; poison kinds corrupt the first output grid's center point
+   *after* a successful run (poisoning before would be overwritten by the
+   kernel itself) — exactly the silent-data-corruption shape the guard
+   scans and checkpoint rollback exist to catch. *)
+let apply_poison outputs grids v =
+  match outputs with
+  | [] -> ()
+  | name :: _ -> (
+      match Sf_mesh.Grids.find_opt grids name with
+      | Some m ->
+          let n = Sf_mesh.Mesh.size m in
+          if n > 0 then Sf_mesh.Mesh.set_flat m (n / 2) v
+      | None -> ())
 
 (* Every compiled kernel is wrapped in a trace guard at compile time, so
    each invocation — from user code, [Mg], [Spmd] or the bench harness —
@@ -87,18 +104,43 @@ let instrument ~backend ~shape group (kernel : Kernel.t) =
     ]
     @ Costing.args cost
   in
+  let fault_detail = backend_name backend ^ ":" ^ group.Group.label in
+  let outputs =
+    List.map (fun s -> s.Stencil.output) (Group.stencils group)
+    |> List.sort_uniq String.compare
+  in
   let run ?params grids =
-    if Trace.on () then begin
-      Trace.add Trace.Cells_updated cost.Costing.cells;
-      Trace.span ~args:span_args Trace.Kernel group.Group.label (fun () ->
-          kernel.Kernel.run ?params grids)
-    end
-    else kernel.Kernel.run ?params grids
+    let poison =
+      if Fault.armed () then Fault.fire ~site:"kernel" ~detail:fault_detail
+      else None
+    in
+    (if Trace.on () then begin
+       Trace.add Trace.Cells_updated cost.Costing.cells;
+       Trace.span ~args:span_args Trace.Kernel group.Group.label (fun () ->
+           kernel.Kernel.run ?params grids)
+     end
+     else kernel.Kernel.run ?params grids);
+    match poison with
+    | Some Fault.Nan_poison -> apply_poison outputs grids Float.nan
+    | Some Fault.Inf_poison -> apply_poison outputs grids Float.infinity
+    | _ -> ()
   in
   { kernel with Kernel.run }
 
+let armed_spec = Atomic.make ""
+
 let compile ?(config = Config.default) backend ~shape group =
   if config.Config.trace && not (Trace.on ()) then Trace.set_enabled true;
+  (* mirror the trace-arming pattern: a spec in the config arms the global
+     fault substrate.  Arming is keyed on the raw spec string so repeated
+     compiles under the same config never re-arm (re-arming would reset
+     the clauses' occurrence counters mid-campaign); [None] leaves any
+     SF_FAULTS arming in force. *)
+  (match config.Config.faults with
+  | Some spec when Atomic.get armed_spec <> spec ->
+      Atomic.set armed_spec spec;
+      Fault.arm_exn spec
+  | _ -> ());
   let key =
     {
       backend;

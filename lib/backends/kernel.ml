@@ -10,7 +10,13 @@ type t = {
 let make ~name ~backend ?(description = "") run =
   { name; backend; run; description }
 
-let param_lookup bindings p =
+let param_lookup ?loc bindings p =
   match List.assoc_opt p bindings with
   | Some v -> v
-  | None -> invalid_arg (Printf.sprintf "kernel: unbound parameter %S" p)
+  | None ->
+      let where =
+        match loc with
+        | Some l -> " in " ^ Snowflake.Srcloc.to_string l
+        | None -> ""
+      in
+      invalid_arg (Printf.sprintf "kernel: unbound parameter %S%s" p where)

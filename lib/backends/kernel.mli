@@ -23,5 +23,8 @@ val make :
   (?params:(string * float) list -> Grids.t -> unit) ->
   t
 
-val param_lookup : (string * float) list -> string -> float
-(** Lookup that raises [Invalid_argument] naming the missing parameter. *)
+val param_lookup :
+  ?loc:Snowflake.Srcloc.t -> (string * float) list -> string -> float
+(** Lookup that raises [Invalid_argument] naming the missing parameter —
+    and, when [loc] is supplied, the stencil/group it was needed by, e.g.
+    [kernel: unbound parameter "dinv" in smooth/gsrb_red]. *)

@@ -58,7 +58,6 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
   let run ?(params = []) grids =
     let launches =
       Run_cache.get cache ~grids ~names ~params (fun () ->
-          let lookup = Kernel.param_lookup params in
           if cfg.Config.validate then
             List.iter
               (fun e -> Exec.validate_stencil grids ~shape e.stencil)
@@ -68,6 +67,11 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               let label = e.stencil.Stencil.label in
               let points = Domain.npoints_union e.work_groups in
               let thunks =
+                let lookup =
+                  Kernel.param_lookup
+                    ~loc:(Srcloc.stencil ~group:group.Group.label label)
+                    params
+                in
                 let instantiate =
                   Exec.prepare_compiled grids ~params:lookup e.stencil
                 in
@@ -106,8 +110,15 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               ]
             Trace.Wave
             (Printf.sprintf "%s/wave%d" group.Group.label i)
-            (fun () -> launch l))
+            (fun () ->
+              Serial_backend.wave_fault group i;
+              launch l))
         launches
-    else List.iter launch launches
+    else
+      List.iteri
+        (fun i l ->
+          Serial_backend.wave_fault group i;
+          launch l)
+        launches
   in
   Kernel.make ~name:group.Group.label ~backend:"opencl" ~description run

@@ -66,7 +66,6 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
   let run ?(params = []) grids =
     let task_waves =
       Run_cache.get cache ~grids ~names ~params (fun () ->
-          let lookup = Kernel.param_lookup params in
           if cfg.Config.validate then
             Array.iter
               (fun p -> Exec.validate_stencil grids ~shape p.stencil)
@@ -80,6 +79,13 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
                 List.concat_map
                   (fun idx ->
                     let p = plans.(idx) in
+                    let lookup =
+                      Kernel.param_lookup
+                        ~loc:
+                          (Srcloc.stencil ~group:group.Group.label
+                             p.stencil.Stencil.label)
+                        params
+                    in
                     let instantiate =
                       Exec.prepare_compiled grids ~params:lookup p.stencil
                     in
@@ -106,11 +112,15 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
               ]
             Trace.Wave
             (Printf.sprintf "%s/wave%d" group.Group.label i)
-            (fun () -> Pool.run_tasks ~points pool tasks))
+            (fun () ->
+              Serial_backend.wave_fault group i;
+              Pool.run_tasks ~points pool tasks))
         task_waves
     else
-      List.iter
-        (fun (points, tasks) -> Pool.run_tasks ~points pool tasks)
+      List.iteri
+        (fun i (points, tasks) ->
+          Serial_backend.wave_fault group i;
+          Pool.run_tasks ~points pool tasks)
         task_waves
   in
   Kernel.make ~name:group.Group.label ~backend:"openmp" ~description run

@@ -17,6 +17,7 @@
    spawned once (lazily) and reused by every kernel in the process. *)
 
 module Trace = Sf_trace.Trace
+module Fault = Sf_resilience.Fault
 
 type job = {
   fn : int -> unit;  (* execute chunk [i] *)
@@ -49,6 +50,7 @@ type stats = {
   chunks : int;
   stolen : int;
   inline_runs : int;
+  skipped : int;
 }
 
 let spawned_c = Atomic.make 0
@@ -56,6 +58,7 @@ let jobs_c = Atomic.make 0
 let chunks_c = Atomic.make 0
 let stolen_c = Atomic.make 0
 let inline_c = Atomic.make 0
+let skipped_c = Atomic.make 0
 
 let stats () =
   Mutex.lock lock;
@@ -68,6 +71,7 @@ let stats () =
     chunks = Atomic.get chunks_c;
     stolen = Atomic.get stolen_c;
     inline_runs = Atomic.get inline_c;
+    skipped = Atomic.get skipped_c;
   }
 
 (* Every counter is a session counter: resetting must cover [spawned_c]
@@ -78,13 +82,15 @@ let reset_stats () =
   Atomic.set jobs_c 0;
   Atomic.set chunks_c 0;
   Atomic.set stolen_c 0;
-  Atomic.set inline_c 0
+  Atomic.set inline_c 0;
+  Atomic.set skipped_c 0
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d domain(s) live; since last reset: %d spawned, %d batch(es) \
-     dispatched, %d chunk(s) (%d stolen by helpers); %d inline run(s)"
-    s.live_domains s.spawned s.jobs s.chunks s.stolen s.inline_runs
+     dispatched, %d chunk(s) (%d stolen by helpers, %d skipped by aborts); \
+     %d inline run(s)"
+    s.live_domains s.spawned s.jobs s.chunks s.stolen s.skipped s.inline_runs
 
 (* ------------------------------------------------------- chunk execution *)
 
@@ -100,9 +106,16 @@ let run_chunks ~stolen job =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.chunks then begin
       (match Atomic.get job.failed with
-      | Some _ -> ()  (* aborting: drain the index without running *)
+      | Some _ ->
+          (* aborting: drain the index without running — but count what we
+             skipped, or an aborted batch looks indistinguishable from a
+             completed one in the stats *)
+          Atomic.incr skipped_c;
+          if Trace.on () then Trace.add Trace.Tasks_skipped 1
       | None -> (
           try
+            if Fault.armed () then
+              ignore (Fault.fire ~site:"chunk" ~detail:(string_of_int i));
             (* disabled-trace hot path: one Atomic.get and a branch *)
             if Trace.on () then
               Trace.span

@@ -92,12 +92,18 @@ type stats = {
   inline_runs : int;
       (** batches run inline: sequential views, single tasks, nested
           submissions and below-cutoff waves/ranges *)
+  skipped : int;
+      (** chunks drained {e without running} because their batch had
+          already failed — the abort path's footprint.  Mirrored into the
+          [Tasks_skipped] trace counter when tracing is on, so an aborted
+          batch is distinguishable from a completed one. *)
 }
 
 val stats : unit -> stats
 
 val reset_stats : unit -> unit
 (** Zero every session counter ([spawned], [jobs], [chunks], [stolen],
-    [inline_runs]).  [live_domains] is unaffected: helpers stay parked. *)
+    [inline_runs], [skipped]).  [live_domains] is unaffected: helpers stay
+    parked. *)
 
 val pp_stats : Format.formatter -> stats -> unit

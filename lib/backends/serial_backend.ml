@@ -4,6 +4,18 @@
    semantics. *)
 
 open Snowflake
+module Fault = Sf_resilience.Fault
+
+(* The "wave" fault site: consulted once per wave per kernel invocation,
+   before the wave body runs.  Raise/Transient abort the wave (the
+   supervisor's retry/failover absorbs them); Delay sleeps inside fire;
+   poison kinds are handled at the "kernel" site, which knows the output
+   grids.  Guarded by [armed] so disarmed runs never build the detail. *)
+let wave_fault group i =
+  if Fault.armed () then
+    ignore
+      (Fault.fire ~site:"wave"
+         ~detail:(Printf.sprintf "%s/wave%d" group.Group.label i))
 
 let compile_interp (cfg : Config.t) ~shape (group : Group.t) =
   let shape = Array.copy shape in
@@ -13,8 +25,13 @@ let compile_interp (cfg : Config.t) ~shape (group : Group.t) =
       (Group.stencils group)
   in
   let run ?(params = []) grids =
-    let params = Kernel.param_lookup params in
-    let exec (s, rects) =
+    let exec i (s, rects) =
+      wave_fault group i;
+      let params =
+        Kernel.param_lookup
+          ~loc:(Srcloc.stencil ~group:group.Group.label s.Stencil.label)
+          params
+      in
       if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
       List.iter (fun r -> Exec.run_rect_interp grids ~params s r) rects
     in
@@ -33,9 +50,9 @@ let compile_interp (cfg : Config.t) ~shape (group : Group.t) =
               ]
             Trace.Wave
             (Printf.sprintf "%s/wave%d" group.Group.label i)
-            (fun () -> exec plan))
+            (fun () -> exec i plan))
         plans
-    else List.iter exec plans
+    else List.iteri exec plans
   in
   Kernel.make ~name:group.Group.label ~backend:"interp"
     ~description:
@@ -56,9 +73,14 @@ let compile_compiled (cfg : Config.t) ~shape (group : Group.t) =
        its own (sequential) wave *)
     let runners =
       Run_cache.get cache ~grids ~names ~params (fun () ->
-          let lookup = Kernel.param_lookup params in
           List.map
             (fun (s, rects) ->
+              let lookup =
+                Kernel.param_lookup
+                  ~loc:
+                    (Srcloc.stencil ~group:group.Group.label s.Stencil.label)
+                  params
+              in
               if cfg.Config.validate then Exec.validate_stencil grids ~shape s;
               let instantiate = Exec.prepare_compiled grids ~params:lookup s in
               ( s.Stencil.label,
@@ -80,11 +102,15 @@ let compile_compiled (cfg : Config.t) ~shape (group : Group.t) =
               ]
             Trace.Wave
             (Printf.sprintf "%s/wave%d" group.Group.label i)
-            (fun () -> List.iter (fun thunk -> thunk ()) thunks))
+            (fun () ->
+              wave_fault group i;
+              List.iter (fun thunk -> thunk ()) thunks))
         runners
     else
-      List.iter
-        (fun (_, _, thunks) -> List.iter (fun thunk -> thunk ()) thunks)
+      List.iteri
+        (fun i (_, _, thunks) ->
+          wave_fault group i;
+          List.iter (fun thunk -> thunk ()) thunks)
         runners
   in
   Kernel.make ~name:group.Group.label ~backend:"compiled"

@@ -1,0 +1,34 @@
+(** Supervised compilation: {!Jit.compile} plus per-invocation retry,
+    guard scans and an ordered backend failover chain.
+
+    A kernel compiled here behaves exactly like the bare jitted kernel on
+    a clean run (the supervised path engages only while
+    [Sf_resilience.Fault] is armed or a guard mode is active — two atomic
+    loads and a branch otherwise).  Under faults, each invocation runs
+    under [Sf_resilience.Supervisor.run]: transient failures are retried
+    with bounded backoff on the same backend; persistent ones recompile
+    the same group on the next backend of {!chain} and replay the
+    invocation there; after every successful run the group's output grids
+    are guard-scanned so NaN/Inf corruption fails over too.  Every
+    retry/failover is a trace counter increment and span marker. *)
+
+open Sf_util
+open Snowflake
+
+val chain : Jit.backend -> Jit.backend list
+(** The failover order, starting with the argument:
+    [opencl -> openmp -> compiled -> interp]; serial backends degrade to
+    the interpreter; custom backends fail over to [compiled].  The last
+    element has no fallback — its failure is re-raised. *)
+
+val compile :
+  ?policy:Sf_resilience.Supervisor.policy ->
+  ?config:Config.t ->
+  Jit.backend ->
+  shape:Ivec.t ->
+  Group.t ->
+  Kernel.t
+(** Like {!Jit.compile} (same cache, same instrumentation) with the
+    supervised [run] described above.  Failover compiles go through the
+    Jit cache, so after the first failover the fallback kernel is a cache
+    hit. *)

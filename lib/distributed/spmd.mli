@@ -24,6 +24,12 @@ type t = private {
   local_n : int;
   shape : Ivec.t;  (** local iteration shape, (local_n+2)^dims *)
   grids : Grids.t;  (** every rank's meshes, rank-qualified names *)
+  dead : (string, Ivec.t) Hashtbl.t;
+      (** ranks whose memory is currently lost (see {!kill_rank}) *)
+  mutable fills : (string * (float array -> float)) list;
+      (** per-base fills recorded by {!fill_interior} — the static data a
+          recovered rank re-derives *)
+  mutable beta_fn : (float array -> float) option;
 }
 
 val create : rank_grid:int list -> local_n:int -> t
@@ -71,3 +77,41 @@ val gather : t -> base:string -> Mesh.t
 
 val scatter : t -> base:string -> Mesh.t -> unit
 (** Distribute a global mesh's interior into the ranks' owned cells. *)
+
+val run_group : t -> Group.t -> unit
+(** Compile (supervised, OpenMP-style backend, pool-wide workers) and run
+    one group over the rank set.  Under an armed fault campaign the
+    invocation additionally consults the ["rank"] site (a [Kill_rank]
+    firing loses a rank and aborts the sweep — the now-stale plan is not
+    run) and the ["halo"] site, and transient failures are retried with
+    supervisor backoff. *)
+
+(** {2 Rank failure and recovery}
+
+    A killed rank models a lost node: its meshes read as NaN until
+    recovery.  Groups built while a rank is dead schedule {e around} it —
+    no stencils for the dead rank, and its alive neighbours' facing ghost
+    planes degrade to zero-gradient one-sided stencils instead of halo
+    copies, so sweeps keep running on the survivors. *)
+
+val kill_rank : t -> Ivec.t -> unit
+(** Mark the rank dead and poison its meshes with NaN.  Idempotent. *)
+
+val dead_ranks : t -> Ivec.t list
+
+val inject_rank_faults : t -> Ivec.t list
+(** Consult the ["rank"] fault site for every alive rank, killing those
+    for which a [Kill_rank] clause fires; returns the newly killed ranks
+    (empty when faults are disarmed).  Called automatically by
+    {!run_group}. *)
+
+val recover : ?sweeps:int -> t -> int
+(** Reconstruct every dead rank and return how many were recovered.
+    Static data (f, β, dinv) is re-derived from the fills recorded by
+    {!fill_interior} and {!set_beta}; the lost solution gets a first guess
+    by per-axis linear interpolation between the alive neighbours' nearest
+    owned planes (0 at physical boundaries); then [sweeps] (default 4)
+    GSRB sweeps over just the recovered ranks — with full-width exchanges
+    — smooth the reconstruction back into the global solution.  Each
+    recovery is a [Rank_recoveries] counter increment and a
+    ["recover:<rank>"] span when tracing is on. *)

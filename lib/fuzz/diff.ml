@@ -45,14 +45,19 @@ type divergence = {
   point : int list;
   expected : float;
   got : float;
+  crashed : string option;
 }
 
 let divergence_to_string d =
-  Printf.sprintf "%s diverges from interp on grid %s at (%s): %.17g vs %.17g (%d ulps)"
-    d.target d.grid
-    (String.concat ", " (List.map string_of_int d.point))
-    d.expected d.got
-    (Fcmp.ulp_diff d.expected d.got)
+  match d.crashed with
+  | Some err -> Printf.sprintf "%s crashed: %s" d.target err
+  | None ->
+      Printf.sprintf
+        "%s diverges from interp on grid %s at (%s): %.17g vs %.17g (%d ulps)"
+        d.target d.grid
+        (String.concat ", " (List.map string_of_int d.point))
+        d.expected d.got
+        (Fcmp.ulp_diff d.expected d.got)
 
 let run_target spec target =
   let grids = Gen.build_grids spec in
@@ -76,7 +81,14 @@ let compare_grids ~ulps ~atol ~target reference got =
         | None -> go rest
         | Some (point, expected, got) ->
             Error
-              { target; grid = name; point = Array.to_list point; expected; got })
+              {
+                target;
+                grid = name;
+                point = Array.to_list point;
+                expected;
+                got;
+                crashed = None;
+              })
   in
   go (Grids.names reference)
 
@@ -85,15 +97,33 @@ let check ?(ulps = 512) ?(atol = 1e-11) ~targets spec =
   let rec go = function
     | [] -> Ok ()
     | t :: rest -> (
-        match compare_grids ~ulps ~atol ~target:t.tname reference (run_target spec t) with
-        | Ok () -> go rest
-        | Error d -> Error d)
+        (* a crashing target is a finding too — an exception must not
+           abort the campaign, it must become a divergence of its own *)
+        match run_target spec t with
+        | exception e ->
+            Error
+              {
+                target = t.tname;
+                grid = "";
+                point = [];
+                expected = Float.nan;
+                got = Float.nan;
+                crashed = Some (Printexc.to_string e);
+              }
+        | got -> (
+            match compare_grids ~ulps ~atol ~target:t.tname reference got with
+            | Ok () -> go rest
+            | Error d -> Error d))
   in
   go targets
 
 (* ------------------------------------------------------ fault injection *)
 
-type bug = Drop_last_stencil | Perturb_first_cell
+type bug =
+  | Drop_last_stencil
+  | Perturb_first_cell
+  | Kernel_raise
+  | Nan_poison_cell
 
 let buggy_name = "sffuzz-buggy"
 
@@ -118,5 +148,26 @@ let injected_target bug =
             (fun ?params grids ->
               k.Kernel.run ?params grids;
               let m = Grids.find grids out in
-              Mesh.set_flat m 0 (Mesh.get_flat m 0 +. 1e-3)));
+              Mesh.set_flat m 0 (Mesh.get_flat m 0 +. 1e-3))
+      | Kernel_raise ->
+          let k = Serial_backend.compile_compiled config ~shape group in
+          Kernel.make ~name:k.Kernel.name ~backend:buggy_name
+            ~description:"compiled, then raises"
+            (fun ?params grids ->
+              k.Kernel.run ?params grids;
+              raise
+                (Sf_resilience.Fault.Injected
+                   {
+                     site = "kernel";
+                     kind = Sf_resilience.Fault.Raise;
+                     detail = buggy_name ^ ":" ^ group.Group.label;
+                   }))
+      | Nan_poison_cell ->
+          let k = Serial_backend.compile_compiled config ~shape group in
+          let out = (List.hd (Group.stencils group)).Stencil.output in
+          Kernel.make ~name:k.Kernel.name ~backend:buggy_name
+            ~description:"compiled + one NaN-poisoned cell"
+            (fun ?params grids ->
+              k.Kernel.run ?params grids;
+              Mesh.set_flat (Grids.find grids out) 0 Float.nan));
   { backend = Jit.Custom buggy_name; config = Config.default; tname = buggy_name }

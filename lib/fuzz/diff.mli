@@ -29,6 +29,9 @@ type divergence = {
   point : int list;
   expected : float;  (** interp's value *)
   got : float;
+  crashed : string option;
+      (** set when the target raised instead of diverging numerically; the
+          other fields are placeholders then ([grid] empty, NaN values) *)
 }
 
 val divergence_to_string : divergence -> string
@@ -43,7 +46,9 @@ val check :
     initialised fresh grids; report the first divergence.  Defaults:
     [ulps = 512], [atol = 1e-11] — roomy enough for the compiled path's
     polynomial reassociation, tight enough to catch real bugs (a dropped
-    tap or a skipped cell is wrong by whole values, not ULPs). *)
+    tap or a skipped cell is wrong by whole values, not ULPs).  A target
+    that {e raises} is reported as a divergence with [crashed] set rather
+    than aborting the campaign. *)
 
 (** {2 Fault injection}
 
@@ -58,6 +63,14 @@ type bug =
   | Perturb_first_cell
       (** runs correctly, then nudges one cell of the first stencil's
           output by [1e-3] — models a single-lattice-point miscompile *)
+  | Kernel_raise
+      (** runs correctly, then raises [Sf_resilience.Fault.Injected] —
+          models a crashing backend; the harness must report it as a
+          [crashed] divergence, not abort *)
+  | Nan_poison_cell
+      (** runs correctly, then writes NaN into one cell of the first
+          stencil's output — the silent-data-corruption shape
+          [Sf_resilience.Guard] scans for *)
 
 val injected_target : bug -> target
 (** Registers (or re-registers) the buggy micro-compiler under the name

@@ -30,7 +30,13 @@ type t = {
   levels : Level.t array;
   config : config;
   timers : (string, float ref) Hashtbl.t;
+  mutable active_backend : Jit.backend;
+      (* starts at config.backend; demoted down the failover chain by
+         [solve_resilient] when a backend keeps failing *)
 }
+
+module Fault = Sf_resilience.Fault
+module Checkpoint = Sf_resilience.Checkpoint
 
 let finest t = t.levels.(0)
 let dof t = Level.dof (finest t)
@@ -42,6 +48,14 @@ module Trace = Sf_trace.Trace
    bottom solve that dies must not vanish from the profile).  With tracing
    on, each sample is also recorded as a [phase] span. *)
 let timed t key f =
+  (* the "mg" fault site: a Raise/Transient aborts the phase before it
+     runs (the V-cycle unwinds to solve_resilient's rollback); poison
+     kinds corrupt the finest solution *after* the phase completes, so
+     the corruption survives into subsequent phases the way real silent
+     data corruption does *)
+  let fault =
+    if Fault.armed () then Fault.fire ~site:"mg" ~detail:key else None
+  in
   let t0_us = Trace.now_us () in
   Fun.protect
     ~finally:(fun () ->
@@ -51,7 +65,18 @@ let timed t key f =
       | Some r -> r := !r +. dt
       | None -> Hashtbl.replace t.timers key (ref dt));
       if Trace.on () then Trace.record_span Trace.Phase key ~ts_us:t0_us ~dur_us)
-    f
+    f;
+  match fault with
+  | Some Fault.Nan_poison | Some Fault.Inf_poison ->
+      let u = Level.u t.levels.(0) in
+      let v =
+        if fault = Some Fault.Nan_poison then Float.nan else Float.infinity
+      in
+      (* hit the domain centre — an interior cell; the flat midpoint of a
+         ghosted mesh decodes to a boundary ghost that the Dirichlet
+         stencils would immediately rewrite *)
+      Mesh.set u (Array.map (fun n -> n / 2) (Mesh.shape u)) v
+  | _ -> ()
 
 let profile t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.timers []
@@ -75,8 +100,35 @@ let interp_group = function
       Group.make ~label:"interp_tl"
         (Operators.boundaries ~grid:"coarse_u" @ Operators.interpolation_linear)
 
+(* Kernels come from the supervised compiler against the *active*
+   backend: on a clean run this is exactly Jit.compile (the supervised
+   path engages only under armed faults / active guards), and under a
+   chaos campaign each invocation gets per-wave retry, guard scans and
+   the backend failover chain. *)
 let compile t group ~shape =
-  Jit.compile ~config:t.config.jit t.config.backend ~shape group
+  Supervise.compile ~config:t.config.jit t.active_backend ~shape group
+
+let active_backend t = t.active_backend
+
+(* Demote the active backend one step down the failover chain; false when
+   already at the chain's end.  Distinct from Supervise's per-invocation
+   failover: a demotion is sticky — every later kernel compiles against
+   the weaker backend — which is what rollback re-runs want. *)
+let demote_backend t =
+  match Supervise.chain t.active_backend with
+  | _ :: next :: _ ->
+      let from = Jit.backend_name t.active_backend in
+      t.active_backend <- next;
+      if Trace.on () then begin
+        Trace.add Trace.Failovers 1;
+        Trace.record_span
+          ~args:
+            [ ("from", Trace.Str from);
+              ("to", Trace.Str (Jit.backend_name next)) ]
+          Trace.Phase "failover:mg" ~ts_us:(Trace.now_us ()) ~dur_us:0.
+      end;
+      true
+  | _ -> false
 
 let create ?(config = default_config) ~n () =
   let rec sizes acc n =
@@ -90,7 +142,14 @@ let create ?(config = default_config) ~n () =
   let levels =
     Array.of_list (List.map (fun n -> Level.create ~n) (sizes [] n))
   in
-  let t = { levels; config; timers = Hashtbl.create 32 } in
+  let t =
+    {
+      levels;
+      config;
+      timers = Hashtbl.create 32;
+      active_backend = config.backend;
+    }
+  in
   (* betas default to 1; dinv must still be initialised *)
   let init_dinv_level level =
     let kernel = compile t dinv_group ~shape:level.Level.shape in
@@ -236,5 +295,75 @@ let solve ?(cycles = 10) t =
   for c = 1 to cycles do
     vcycle t;
     norms.(c) <- residual_norm t
+  done;
+  norms
+
+(* Checkpointed, self-healing solve.
+
+   Rollback state is the finest-level solution mesh alone: a V-cycle
+   recomputes every coarser u/f/res from scratch (coarse u is zeroed
+   before each descent, coarse f is overwritten by restriction) and the
+   finest f and dinv are never written — so restoring u(0) returns the
+   solver exactly to the last good cycle boundary.
+
+   A cycle is "good" when its residual norm is finite and has not blown
+   up past [divergence_factor] x the last accepted norm.  A bad cycle —
+   divergence, a guard trip, or an exception the per-kernel supervisor
+   could not absorb — rolls the solution back to the newest checkpoint,
+   demotes the active backend one step down the failover chain, and
+   re-runs the same cycle.  [max_rollbacks] bounds the total healing
+   budget; runtime-fatal exceptions are never absorbed. *)
+let fatal = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ -> true
+  | _ -> false
+
+let solve_resilient ?(cycles = 10) ?(checkpoint_every = 1) ?(ring = 3)
+    ?(divergence_factor = 10.) ?(max_rollbacks = 8) t =
+  if checkpoint_every < 1 then
+    invalid_arg "Mg.solve_resilient: checkpoint_every < 1";
+  let u0 = Level.u (finest t) in
+  let ck =
+    Checkpoint.create ~capacity:ring ~label:"mg"
+      ~alloc:(fun () -> Mesh.create (finest t).Level.shape)
+      ~save:(fun buf -> Mesh.blit ~src:u0 ~dst:buf)
+      ~restore:(fun buf -> Mesh.blit ~src:buf ~dst:u0)
+      ()
+  in
+  let norms = Array.make (cycles + 1) 0. in
+  norms.(0) <- residual_norm t;
+  (* tag 0: even a failure in the very first cycle has somewhere to go *)
+  Checkpoint.checkpoint ck ~tag:0;
+  let last_good = ref norms.(0) in
+  let rollbacks = ref 0 in
+  let c = ref 1 in
+  while !c <= cycles do
+    let outcome =
+      try
+        vcycle t;
+        let r = residual_norm t in
+        if Float.is_finite r && r <= divergence_factor *. Float.max !last_good epsilon_float
+        then Ok r
+        else
+          Error
+            (Failure
+               (Printf.sprintf
+                  "Mg.solve_resilient: cycle %d diverged (residual %g, last \
+                   good %g)"
+                  !c r !last_good))
+      with e when not (fatal e) -> Error e
+    in
+    match outcome with
+    | Ok r ->
+        norms.(!c) <- r;
+        last_good := r;
+        if !c mod checkpoint_every = 0 then Checkpoint.checkpoint ck ~tag:!c;
+        incr c
+    | Error e ->
+        incr rollbacks;
+        if !rollbacks > max_rollbacks then raise e;
+        ignore (Checkpoint.rollback ck : int option);
+        (* chain exhausted: keep re-running on the weakest backend; the
+           rollback budget still bounds the attempts *)
+        ignore (demote_backend t : bool)
   done;
   norms

@@ -35,6 +35,10 @@ type t = private {
   config : config;
   timers : (string, float ref) Hashtbl.t;
       (** per-operation, per-level wall time, keyed e.g. ["smooth L0"] *)
+  mutable active_backend : Jit.backend;
+      (** the backend kernels currently compile against — starts at
+          [config.backend], demoted down [Supervise.chain] by
+          {!solve_resilient} when a backend keeps failing *)
 }
 
 val create : ?config:config -> n:int -> unit -> t
@@ -74,6 +78,38 @@ val solve : ?cycles:int -> t -> float array
 (** Run V-cycles (default 10, as in the paper's benchmark configuration)
     and return the residual norms: element 0 is the initial norm, element i
     the norm after cycle i. *)
+
+val active_backend : t -> Jit.backend
+
+val demote_backend : t -> bool
+(** Demote the active backend one step down [Supervise.chain] (every later
+    kernel compiles against the weaker backend); [false] when already at
+    the end of the chain.  Recorded as a [Failovers] counter increment and
+    a ["failover:mg"] span when tracing is on. *)
+
+val solve_resilient :
+  ?cycles:int ->
+  ?checkpoint_every:int ->
+  ?ring:int ->
+  ?divergence_factor:float ->
+  ?max_rollbacks:int ->
+  t ->
+  float array
+(** {!solve} under supervision: after every good cycle (finite residual,
+    not blown up past [divergence_factor] (default 10) x the last accepted
+    norm) the finest-level solution is checkpointed into a
+    copy-on-checkpoint ring of [ring] (default 3) reusable buffers, every
+    [checkpoint_every] (default 1) cycles.  A bad cycle — divergence, a
+    guard trip, or an exception the per-kernel supervisor could not absorb
+    — rolls back to the newest checkpoint, demotes the active backend one
+    step down the failover chain and re-runs the same cycle, up to
+    [max_rollbacks] (default 8) times in total before the failure is
+    re-raised.  The finest solution mesh is the {e entire} rollback state:
+    a V-cycle recomputes all coarser state and never writes the finest f
+    or dinv.  With no faults armed and guards off this is {!solve} plus
+    one mesh copy per checkpoint.  Every rollback/failover appears in the
+    trace ([Rollbacks]/[Failovers] counters, ["rollback:mg"] /
+    ["failover:mg"] markers). *)
 
 val dof : t -> int
 (** Unknowns on the finest level. *)

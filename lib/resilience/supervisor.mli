@@ -1,0 +1,39 @@
+(** Supervised execution: bounded-backoff retry within an ordered failover
+    chain.
+
+    {!run} executes the first attempt of an ordered chain; on failure it
+    retries that attempt up to [policy.retries] times with bounded
+    exponential backoff (transient faults heal here), then moves down the
+    chain with a fresh retry budget (persistent faults exhaust a backend
+    and fail over), and re-raises the last exception only when the whole
+    chain is spent.  [Out_of_memory], [Stack_overflow] and
+    [Assert_failure] are never absorbed.
+
+    Every decision is observable: a retry bumps the [Retries] trace
+    counter and records a zero-duration ["retry:<name>"] phase marker; a
+    failover bumps [Failovers] and records ["failover:<name>"] with
+    from/to arguments — so [--profile] shows exactly how a degraded run
+    degraded.  The Jit-specific chain (recompiling a stencil group on the
+    next backend) is assembled by [Sf_backends.Supervise]. *)
+
+type policy = {
+  retries : int;  (** per-attempt retry budget *)
+  backoff_us : float;  (** first backoff sleep *)
+  backoff_factor : float;
+  max_backoff_us : float;
+}
+
+val default_policy : policy
+(** 2 retries, 200µs initial backoff, ×4 growth, 20ms cap. *)
+
+val run : ?policy:policy -> name:string -> (string * (unit -> 'a)) list -> 'a
+(** [run ~name attempts] — [attempts] is the ordered [(label, thunk)]
+    chain.  Raises [Invalid_argument] on an empty chain; otherwise returns
+    the first successful thunk's value or re-raises the last failure. *)
+
+val retries_total : unit -> int
+(** Retries since the last {!reset_counts} (counted even with tracing
+    off). *)
+
+val failovers_total : unit -> int
+val reset_counts : unit -> unit

@@ -63,11 +63,30 @@ let summary_table ?machine () =
 
 let counters_line () =
   let c = Trace.counters () in
-  Printf.sprintf
-    "%d cell(s) updated; %d chunk(s) dispatched (%d stolen), %d inline \
-     fallback(s); jit cache %d hit(s) / %d miss(es)"
-    c.Trace.cells_updated c.Trace.chunks_dispatched c.Trace.chunks_stolen
-    c.Trace.inline_fallbacks c.Trace.cache_hits c.Trace.cache_misses
+  let base =
+    Printf.sprintf
+      "%d cell(s) updated; %d chunk(s) dispatched (%d stolen), %d inline \
+       fallback(s); jit cache %d hit(s) / %d miss(es)"
+      c.Trace.cells_updated c.Trace.chunks_dispatched c.Trace.chunks_stolen
+      c.Trace.inline_fallbacks c.Trace.cache_hits c.Trace.cache_misses
+  in
+  (* The resilience line only appears when something resilience-related
+     actually happened — clean profiles stay byte-identical to before. *)
+  if
+    c.Trace.faults_injected + c.Trace.retries + c.Trace.failovers
+    + c.Trace.rollbacks + c.Trace.guard_trips + c.Trace.tasks_skipped
+    + c.Trace.rank_recoveries
+    > 0
+  then
+    base
+    ^ Printf.sprintf
+        "; resilience: %d fault(s) injected, %d retry(ies), %d failover(s), \
+         %d rollback(s), %d guard trip(s), %d task(s) skipped, %d rank \
+         recovery(ies)"
+        c.Trace.faults_injected c.Trace.retries c.Trace.failovers
+        c.Trace.rollbacks c.Trace.guard_trips c.Trace.tasks_skipped
+        c.Trace.rank_recoveries
+  else base
 
 let print_summary ?machine () =
   print_string (summary_table ?machine ());

@@ -53,6 +53,13 @@ type counter =
   | Inline_fallbacks
   | Cache_hits
   | Cache_misses
+  | Faults_injected
+  | Retries
+  | Failovers
+  | Rollbacks
+  | Guard_trips
+  | Tasks_skipped
+  | Rank_recoveries
 
 let cells_c = Atomic.make 0
 let chunks_c = Atomic.make 0
@@ -60,6 +67,13 @@ let stolen_c = Atomic.make 0
 let inline_c = Atomic.make 0
 let hits_c = Atomic.make 0
 let misses_c = Atomic.make 0
+let faults_c = Atomic.make 0
+let retries_c = Atomic.make 0
+let failovers_c = Atomic.make 0
+let rollbacks_c = Atomic.make 0
+let guard_trips_c = Atomic.make 0
+let skipped_c = Atomic.make 0
+let recoveries_c = Atomic.make 0
 
 let cell_of = function
   | Cells_updated -> cells_c
@@ -68,6 +82,13 @@ let cell_of = function
   | Inline_fallbacks -> inline_c
   | Cache_hits -> hits_c
   | Cache_misses -> misses_c
+  | Faults_injected -> faults_c
+  | Retries -> retries_c
+  | Failovers -> failovers_c
+  | Rollbacks -> rollbacks_c
+  | Guard_trips -> guard_trips_c
+  | Tasks_skipped -> skipped_c
+  | Rank_recoveries -> recoveries_c
 
 let add c n = if on () then ignore (Atomic.fetch_and_add (cell_of c) n)
 
@@ -78,6 +99,13 @@ type counters = {
   inline_fallbacks : int;
   cache_hits : int;
   cache_misses : int;
+  faults_injected : int;
+  retries : int;
+  failovers : int;
+  rollbacks : int;
+  guard_trips : int;
+  tasks_skipped : int;
+  rank_recoveries : int;
 }
 
 let counters () =
@@ -88,6 +116,13 @@ let counters () =
     inline_fallbacks = Atomic.get inline_c;
     cache_hits = Atomic.get hits_c;
     cache_misses = Atomic.get misses_c;
+    faults_injected = Atomic.get faults_c;
+    retries = Atomic.get retries_c;
+    failovers = Atomic.get failovers_c;
+    rollbacks = Atomic.get rollbacks_c;
+    guard_trips = Atomic.get guard_trips_c;
+    tasks_skipped = Atomic.get skipped_c;
+    rank_recoveries = Atomic.get recoveries_c;
   }
 
 (* -------------------------------------------------------- roofline join *)
@@ -171,7 +206,11 @@ let clear () =
   Mutex.unlock mu;
   List.iter
     (fun c -> Atomic.set c 0)
-    [ cells_c; chunks_c; stolen_c; inline_c; hits_c; misses_c ]
+    [
+      cells_c; chunks_c; stolen_c; inline_c; hits_c; misses_c; faults_c;
+      retries_c; failovers_c; rollbacks_c; guard_trips_c; skipped_c;
+      recoveries_c;
+    ]
 
 (* ---------------------------------------------------------- aggregation *)
 
@@ -266,6 +305,13 @@ let counter_event ~ts =
             ("inline_fallbacks", Json.Num (float_of_int c.inline_fallbacks));
             ("cache_hits", Json.Num (float_of_int c.cache_hits));
             ("cache_misses", Json.Num (float_of_int c.cache_misses));
+            ("faults_injected", Json.Num (float_of_int c.faults_injected));
+            ("retries", Json.Num (float_of_int c.retries));
+            ("failovers", Json.Num (float_of_int c.failovers));
+            ("rollbacks", Json.Num (float_of_int c.rollbacks));
+            ("guard_trips", Json.Num (float_of_int c.guard_trips));
+            ("tasks_skipped", Json.Num (float_of_int c.tasks_skipped));
+            ("rank_recoveries", Json.Num (float_of_int c.rank_recoveries));
           ] );
     ]
 

@@ -93,6 +93,13 @@ type counter =
   | Inline_fallbacks  (** batches run inline (cutoff, nesting, 1 worker) *)
   | Cache_hits  (** [Jit.compile] cache hits *)
   | Cache_misses
+  | Faults_injected  (** [Fault.fire] firings (sf_resilience) *)
+  | Retries  (** supervised kernel retries *)
+  | Failovers  (** backend failovers in a supervised chain *)
+  | Rollbacks  (** checkpoint-ring restores *)
+  | Guard_trips  (** non-finite values caught by guard scans *)
+  | Tasks_skipped  (** pool tasks drained unrun after a batch abort *)
+  | Rank_recoveries  (** [Spmd] dead-rank reconstructions *)
 
 val add : counter -> int -> unit
 (** Atomic increment; no-op when tracing is disabled (callers in hot paths
@@ -105,6 +112,13 @@ type counters = {
   inline_fallbacks : int;
   cache_hits : int;
   cache_misses : int;
+  faults_injected : int;
+  retries : int;
+  failovers : int;
+  rollbacks : int;
+  guard_trips : int;
+  tasks_skipped : int;
+  rank_recoveries : int;
 }
 
 val counters : unit -> counters

@@ -81,6 +81,59 @@ let test_pool_nested_runs_inline () =
   Pool.run_tasks pool outer;
   check_int "nested tasks all ran" 32 (Atomic.get inner)
 
+let test_pool_abort_skips_counted () =
+  (* regression: an aborted batch used to look indistinguishable from a
+     completed one — the drained tasks must show up in stats as [skipped] *)
+  let pool = Pool.create ~workers:4 in
+  Pool.reset_stats ();
+  let executed = Atomic.make 0 in
+  let tasks =
+    Array.init 512 (fun i () ->
+        if i = 0 then failwith "abort"
+        else begin
+          (* a little work so the whole batch cannot drain before the
+             failure flag is published *)
+          for _ = 1 to 200 do
+            ignore (Sys.opaque_identity i)
+          done;
+          Atomic.incr executed
+        end)
+  in
+  (try
+     Pool.run_tasks pool tasks;
+     Alcotest.fail "exception swallowed"
+   with Failure m -> Alcotest.(check string) "msg" "abort" m);
+  let s = Pool.stats () in
+  check_bool "abort visibly skipped tasks" true (s.Pool.skipped > 0);
+  check_int "skipped + executed accounts for every non-failing task" 511
+    (s.Pool.skipped + Atomic.get executed)
+
+let test_pool_reentrant_exception () =
+  (* a nested (inline) submission that raises must propagate through both
+     joins, and the pool must survive the abort — at every worker count *)
+  List.iter
+    (fun workers ->
+      let pool = Pool.create ~workers in
+      let outer =
+        Array.init 4 (fun o () ->
+            if o = 0 then
+              Pool.run_tasks pool
+                [| (fun () -> ()); (fun () -> failwith "inner") |])
+      in
+      (try
+         Pool.run_tasks pool outer;
+         Alcotest.fail
+           (Printf.sprintf "exception swallowed (workers=%d)" workers)
+       with Failure m -> Alcotest.(check string) "msg" "inner" m);
+      let hits = Array.make 32 0 in
+      Pool.run_tasks pool
+        (Array.init 32 (fun i () -> hits.(i) <- hits.(i) + 1));
+      check_bool
+        (Printf.sprintf "usable after abort (workers=%d)" workers)
+        true
+        (Array.for_all (( = ) 1) hits))
+    [ 1; 2; 4 ]
+
 let test_pool_shutdown_idempotent () =
   Pool.shutdown ();
   Pool.shutdown ();
@@ -1298,6 +1351,10 @@ let () =
             test_pool_exception_leaves_pool_reusable;
           Alcotest.test_case "nested submit runs inline" `Quick
             test_pool_nested_runs_inline;
+          Alcotest.test_case "abort skips are counted" `Quick
+            test_pool_abort_skips_counted;
+          Alcotest.test_case "re-entrant exception re-raised" `Quick
+            test_pool_reentrant_exception;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
           Alcotest.test_case "serial cutoff" `Quick test_pool_serial_cutoff;
