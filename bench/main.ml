@@ -7,8 +7,8 @@
      main.exe [command] [--size N] [--sizes 8,16,32] [--cycles N]
               [--workers N] [--repeats N] [--csv DIR] [--trace FILE]
    command: all (default) | stream | fig7 | fig8 | fig9 | tiling
-            | multicolor | waves | fusion | autotune | distributed | verify | codegen
-            | micro | pool *)
+            | multicolor | waves | fusion | fusion-bench | autotune
+            | distributed | verify | codegen | micro | pool *)
 
 open Sf_harness
 
@@ -132,6 +132,7 @@ let () =
   | "multicolor" -> Experiments.run_multicolor opts
   | "waves" -> Experiments.run_waves opts
   | "fusion" -> Experiments.run_fusion opts
+  | "fusion-bench" -> Experiments.run_fusion_bench opts
   | "autotune" -> Experiments.run_autotune opts
   | "distributed" -> Experiments.run_distributed opts
   | "verify" -> Experiments.run_verify opts

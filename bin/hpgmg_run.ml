@@ -10,7 +10,7 @@ open Sf_hpgmg
 module Trace = Sf_trace.Trace
 
 let run n cycles backend_name workers variable fcycle interp_linear profile
-    trace_file faults guard =
+    trace_file faults guard autotune no_fusion time_tile =
   let backend =
     match Jit.backend_of_string backend_name with
     | Some b -> b
@@ -48,15 +48,65 @@ let run n cycles backend_name workers variable fcycle interp_linear profile
     Trace.set_bandwidth_gbs bw;
     Printf.printf "STREAM bandwidth: %.2f GB/s (roofline reference)\n%!" bw
   end;
+  (* from the CLI, fusion defaults ON (--no-fusion restores singleton
+     waves); library callers still get the conservative SF_FUSION default *)
+  let jit_base =
+    {
+      (Config.with_workers workers Config.default) with
+      Config.trace = profile || trace_file <> None || Config.default_trace;
+      fusion = not no_fusion;
+      time_tile = (if time_tile > 0 then time_tile else Config.default.Config.time_tile);
+    }
+  in
+  (* --autotune: tune the GSRB smoother stack (the solver's hot loop) on a
+     scratch finest level, then solve under the winning plan.  A repeat run
+     on the same machine/backend/worker count replays the persisted plan
+     without measuring anything (visible as a tuning-db hit in --profile). *)
+  let jit =
+    if not autotune then jit_base
+    else begin
+      let level = Level.create ~n in
+      let shape = level.Level.shape in
+      let reps = Mg.default_config.Mg.smooths in
+      let group = Operators.gsrb_smooth in
+      let measure cfg =
+        let p = Autotune.plan_of_config cfg in
+        let kernel =
+          if p.Autotune.time_tile > 1 then
+            Jit.compile_time_tiled ~config:cfg ~reps backend ~shape group
+          else Jit.compile ~config:cfg backend ~shape group
+        in
+        let apps = if p.Autotune.time_tile > 1 then 1 else reps in
+        let once () =
+          for _ = 1 to apps do
+            kernel.Kernel.run ~params:(Level.params level) level.Level.grids
+          done
+        in
+        once ();
+        (* warm: JIT + pool spin-up *)
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          once ();
+          best := Float.min !best (Unix.gettimeofday () -. t0)
+        done;
+        !best
+      in
+      let r = Autotune.tune ~config:jit_base ~backend ~shape ~reps ~measure group in
+      Printf.printf "autotune: %s (%s%s)\n%!"
+        (Autotune.describe r.Autotune.plan)
+        (Autotune.source_to_string r.Autotune.source)
+        (match r.Autotune.measured_s with
+        | Some m -> Printf.sprintf ", %.3g s measured" m
+        | None -> Printf.sprintf ", %.3g s predicted" r.Autotune.predicted_s);
+      r.Autotune.config
+    end
+  in
   let config =
     {
       Mg.default_config with
       backend;
-      jit =
-        {
-          (Config.with_workers workers Config.default) with
-          Config.trace = profile || trace_file <> None || Config.default_trace;
-        };
+      jit;
       interp = (if interp_linear then Mg.Linear else Mg.Constant);
     }
   in
@@ -115,6 +165,7 @@ let run n cycles backend_name workers variable fcycle interp_linear profile
       (1. /. float_of_int (n * n))
   end;
   if profile then begin
+    Printf.printf "\nsmoother plan: %s\n" (Mg.smoother_plan solver);
     print_endline "\ntrace summary (roofline-joined):";
     Sf_trace.Report.print_summary ()
   end;
@@ -188,6 +239,35 @@ let guard_arg =
            $(b,full) scans every point, $(b,off) disables scanning even \
            under an armed fault campaign.")
 
+let autotune_arg =
+  Arg.(
+    value & flag
+    & info [ "autotune" ]
+        ~doc:
+          "Tune the smoother plan (fusion $(i,x) tile $(i,x) temporal depth) \
+           before solving: candidates are ranked by the analytic roofline \
+           model, the best few confirmed by timed runs, and the winner \
+           persisted in the tuning DB ($(b,SF_TUNE_DB) or \
+           ~/.cache/snowflake/tuning.json) so repeat runs replay it without \
+           re-measuring.")
+
+let no_fusion_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fusion" ]
+        ~doc:
+          "Disable cross-wave fusion (from the CLI, cofusible stencils are \
+           fused into single sweeps by default).")
+
+let time_tile_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "time-tile" ] ~docv:"K"
+        ~doc:
+          "Temporal-block the smoother: K consecutive smoother applications \
+           run as one skewed time-tiled kernel (~one memory pass per K \
+           sweeps, bitwise identical results).  0 leaves the default.")
+
 let cmd =
   let doc = "Snowflake-built geometric multigrid (HPGMG reproduction)" in
   Cmd.v
@@ -195,6 +275,6 @@ let cmd =
     Term.(
       const run $ n_arg $ cycles_arg $ backend_arg $ workers_arg
       $ variable_arg $ fcycle_arg $ linear_arg $ profile_arg $ trace_arg
-      $ faults_arg $ guard_arg)
+      $ faults_arg $ guard_arg $ autotune_arg $ no_fusion_arg $ time_tile_arg)
 
 let () = exit (Cmd.eval cmd)

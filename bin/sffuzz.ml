@@ -42,6 +42,7 @@ let run seed count max_dims backend ulps atol shrink max_shrink_evals
     | Some "perturb-first-cell" -> Some Sf_fuzz.Diff.Perturb_first_cell
     | Some "kernel-raise" -> Some Sf_fuzz.Diff.Kernel_raise
     | Some "nan-poison" -> Some Sf_fuzz.Diff.Nan_poison_cell
+    | Some "mis-skew-tile" -> Some Sf_fuzz.Diff.Mis_skew_tile
     | Some other ->
         Printf.eprintf
           "sffuzz: unknown bug %S \
@@ -122,7 +123,7 @@ let oracles_arg =
   Arg.(value & opt bool true & info [ "oracles" ] ~doc:"Run the metamorphic oracles (pool determinism, certification gate, SF011/NaN).")
 
 let inject_arg =
-  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell | kernel-raise | nan-poison.")
+  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell | kernel-raise | nan-poison | mis-skew-tile.")
 
 let replay_arg =
   Arg.(value & opt (some string) None & info [ "replay-dir" ] ~doc:"Replay every .sfl corpus file under $(docv) instead of generating." ~docv:"DIR")

@@ -39,6 +39,9 @@ let catalogue =
     ("SF012", Warning, "entire write lattice overwritten before any read");
     ("SF021", Error, "intra-wave race in a backend plan");
     ("SF022", Warning, "stencil forced parallel against the analysis");
+    ("SF023", Error, "illegal fusion: concurrent fused tasks conflict");
+    ("SF024", Error, "time-tile skew below the dependence slope");
+    ("SF025", Error, "group cannot be time-tiled");
   ]
 
 let pp ppf d =

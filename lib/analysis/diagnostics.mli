@@ -24,7 +24,14 @@
       a backend plan touch a common cell with at least one write
     - [SF022] warning — the configuration forces a stencil parallel against
       the analysis ([Config.force_parallel]), so certification is the only
-      safety net left *)
+      safety net left
+    - [SF023] error — illegal fusion: two concurrent tasks of a fused plan
+      touch a common cell with at least one write
+    - [SF024] error — a temporal-blocking plan's skew is below the group's
+      dependence slope, so slab seams would read stale or future values
+    - [SF025] error — the group cannot be time-tiled (non-identity write,
+      a non-point-parallel stencil, or a non-unit-scale read of a
+      group-written grid) *)
 
 open Snowflake
 

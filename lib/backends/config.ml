@@ -15,6 +15,9 @@ type t = {
   force_parallel : string list;
   trace : bool;
   faults : string option;
+  fusion : bool;
+  time_tile : int;
+  time_block : int;
 }
 
 and dce = No_dce | Dce of string list
@@ -45,6 +48,8 @@ let default_faults =
   | Some s when String.trim s <> "" -> Some s
   | _ -> None
 
+let default_fusion = env_flag "SF_FUSION"
+
 let default =
   {
     workers = default_workers;
@@ -61,6 +66,9 @@ let default =
     force_parallel = [];
     trace = default_trace;
     faults = default_faults;
+    fusion = default_fusion;
+    time_tile = 1;
+    time_block = 0;
   }
 
 let with_workers workers t = { t with workers }

@@ -48,6 +48,23 @@ type t = {
           CLI flag / [SF_FAULTS]; grammar in [Sf_resilience.Fault]);
           [None] leaves the current arming untouched, so a spec armed via
           the environment at load time stays in force *)
+  fusion : bool;
+      (** cross-wave sweep fusion ([Fusion]): partition the group into
+          clusters of provably cofusible stencils and execute each cluster
+          as per-tile multi-stencil tasks, so the cluster makes one pass
+          over its grids instead of one pass per stencil.  Off by default;
+          legality is re-proved per cluster, so enabling it on an
+          unfusible group (e.g. GSRB's colour sweeps) degenerates to the
+          unfused plan *)
+  time_tile : int;
+      (** temporal blocking depth [k] ([Timetile]): [Jit.compile_time_tiled]
+          folds [k] consecutive applications of the group into one skewed
+          time-tiled sweep costing ~one pass of memory traffic.  [1]
+          disables it.  Plain [Jit.compile] (one application) ignores this
+          knob except as a cache-key component *)
+  time_block : int;
+      (** outer-axis block size (lattice points) for the time-tiled sweep;
+          [0] picks a size automatically *)
 }
 
 and dce = No_dce | Dce of string list  (** live output grids *)
@@ -70,12 +87,18 @@ val default_trace : bool
 val default_faults : string option
 (** [SF_FAULTS] from the environment when non-empty, else [None]. *)
 
+val default_fusion : bool
+(** [SF_FUSION] from the environment ([1]/[true]/[yes]/[on]), else
+    false. *)
+
 val default : t
 (** Sequential-friendly defaults: [workers] = {!default_workers}, no
     explicit tile, [chunks = 8], tall-skinny [8 x 64], multicolor off,
     greedy waves, validation on, no fusion, no DCE,
     [serial_cutoff] = {!default_serial_cutoff},
     [certify] = {!default_certify}, no forced-parallel overrides,
-    [trace] = {!default_trace}, [faults] = {!default_faults}. *)
+    [trace] = {!default_trace}, [faults] = {!default_faults},
+    [fusion] = {!default_fusion}, [time_tile = 1] (off),
+    [time_block = 0] (auto). *)
 
 val with_workers : int -> t -> t

@@ -29,6 +29,25 @@ val of_stencil : shape:Ivec.t -> Stencil.t -> t
 val of_group : shape:Ivec.t -> Group.t -> t
 (** Component-wise sum over the group's stencils. *)
 
+val of_fused : shape:Ivec.t -> Stencil.t list -> t
+(** Single-pass model for a fused sweep over the member stencils:
+    [cells]/[flops] sum as in {!of_group}, but [bytes] counts each
+    distinct grid once — the bounding box of every lattice the grid
+    contributes (reads and writes, all members), x2 when written
+    (write-allocate + write-back) — instead of charging every member its
+    full footprint.  This is what stops shared reads from being
+    double-counted. *)
+
+val of_clusters : shape:Ivec.t -> Stencil.t list list -> t
+(** Sum over a fusion partition: singleton clusters cost {!of_stencil}
+    exactly (unfused parity), multi-member clusters cost {!of_fused}. *)
+
+val of_timetile : shape:Ivec.t -> reps:int -> Group.t -> t
+(** The time-tiled stack of [reps] group applications: arithmetic and
+    cells scale with [reps], bytes are the {e one-pass} fused-sweep
+    traffic — k sweeps over a slab column while it stays cache-hot cost
+    ~one DRAM pass. *)
+
 val args : t -> (string * Sf_trace.Trace.arg) list
 (** The [cells]/[flops]/[bytes] span arguments the trace reporter and the
     Chrome exporter consume. *)

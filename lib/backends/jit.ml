@@ -94,8 +94,22 @@ let apply_poison outputs grids v =
    annotated with the analytic cells/flops/bytes of one run.  The span
    arguments are computed once per cache entry; when tracing is off the
    wrapper costs one atomic load and a branch. *)
-let instrument ~backend ~shape group (kernel : Kernel.t) =
-  let cost = Costing.of_group ~shape group in
+let instrument ?cost ~config ~backend ~shape group (kernel : Kernel.t) =
+  let cost =
+    match cost with
+    | Some c -> c
+    | None -> (
+        (* with fusion on, the parallel backends execute the fused plan, so
+           the span is annotated with the single-pass bytes model — shared
+           reads inside a cluster are no longer double-counted *)
+        match backend with
+        | (Openmp | Opencl) when config.Config.fusion ->
+            Costing.of_clusters ~shape
+              (List.map
+                 (fun (c : Fusion.cluster) -> c.Fusion.members)
+                 (Fusion.partition config ~shape group))
+        | _ -> Costing.of_group ~shape group)
+  in
   let span_args =
     [
       ("backend", Trace.Str (backend_name backend));
@@ -211,7 +225,7 @@ let compile ?(config = Config.default) backend ~shape group =
                         (Printf.sprintf
                            "Jit.compile: unknown custom backend %S" name))
             in
-            instrument ~backend ~shape group kernel)
+            instrument ~config ~backend ~shape group kernel)
       in
       locked (fun () ->
           match Hashtbl.find_opt cache key with
@@ -219,6 +233,101 @@ let compile ?(config = Config.default) backend ~shape group =
           | None ->
               Hashtbl.replace cache key kernel;
               kernel)
+
+(* --------------------------------------------------- temporal blocking
+
+   [compile] is always ONE application of the group; [compile_time_tiled]
+   returns a kernel whose single invocation performs [reps] applications —
+   skew-blocked into ~one pass of memory traffic when [Timetile.plan]
+   accepts the group, or a plain kernel wrapped in a reps-loop otherwise,
+   so the semantics are uniform either way (the differential fuzzer
+   depends on that).  Time-tiled entries live in the same cache under a
+   distinct pseudo-backend name, with [Config.time_tile] carrying [reps]
+   into the key. *)
+
+let compile_time_tiled ?(config = Config.default) ~reps backend ~shape group =
+  if reps < 1 then
+    invalid_arg "Jit.compile_time_tiled: reps must be at least 1";
+  if reps = 1 then compile ~config backend ~shape group
+  else begin
+    let config = { config with Config.time_tile = reps } in
+    let plain_loop () =
+      let inner = compile ~config backend ~shape group in
+      let run ?params grids =
+        for _ = 1 to reps do
+          inner.Kernel.run ?params grids
+        done
+      in
+      {
+        inner with
+        Kernel.run;
+        Kernel.description =
+          Printf.sprintf "%d rep(s) of [%s]" reps inner.Kernel.description;
+      }
+    in
+    let key =
+      {
+        backend = Custom ("timetile:" ^ backend_name backend);
+        shape = Ivec.to_list shape;
+        group_hash = Group.hash group;
+        config;
+      }
+    in
+    match locked (fun () -> Hashtbl.find_opt cache key) with
+    | Some kernel ->
+        Atomic.incr hits;
+        if Trace.on () then Trace.add Trace.Cache_hits 1;
+        kernel
+    | None ->
+        Atomic.incr misses;
+        if Trace.on () then Trace.add Trace.Cache_misses 1;
+        let kernel =
+          Trace.span
+            ~args:
+              [
+                ("backend", Trace.Str "timetile");
+                ("group", Trace.Str group.Group.label);
+                ("reps", Trace.Int reps);
+              ]
+            Trace.Compile
+            ("compile:" ^ group.Group.label)
+            (fun () ->
+              let group = Passes.optimize config ~shape group in
+              match Timetile.plan config ~shape ~reps group with
+              | Some plan ->
+                  if config.Config.certify then begin
+                    let diagnostics =
+                      Trace.span Trace.Certify
+                        ("certify:" ^ group.Group.label)
+                        (fun () ->
+                          Schedule_check.certify_timetile_plan config ~shape
+                            plan)
+                    in
+                    if Sf_analysis.Diagnostics.has_errors diagnostics then
+                      raise
+                        (Certification_failed
+                           {
+                             backend = "timetile";
+                             group = group.Group.label;
+                             diagnostics;
+                           })
+                  end;
+                  instrument
+                    ~cost:(Costing.of_timetile ~shape ~reps group)
+                    ~config ~backend:(Custom "timetile") ~shape group
+                    (Timetile.compile config ~shape plan)
+              | None ->
+                  (* the plain fallback's inner kernel is instrumented by
+                     [compile] itself: one span per application *)
+                  plain_loop ())
+        in
+        locked (fun () ->
+            match Hashtbl.find_opt cache key with
+            | Some existing -> existing
+            | None ->
+                Hashtbl.replace cache key kernel;
+                kernel)
+  end
 
 let compile_stencil ?config backend ~shape stencil =
   compile ?config backend ~shape

@@ -58,6 +58,28 @@ val registered_backends : unit -> string list
 
 val compile :
   ?config:Config.t -> backend -> shape:Ivec.t -> Group.t -> Kernel.t
+(** Always ONE application of the group per kernel invocation
+    ([Config.time_tile] only distinguishes cache entries here; the
+    temporal depth is consumed by {!compile_time_tiled}).  With
+    [Config.fusion] on, the OpenMP/OpenCL kernels execute the fused plan
+    and their trace spans carry the single-pass [Costing.of_clusters]
+    bytes; certification additionally re-proves the fused plan race-free
+    ([SF023]). *)
+
+val compile_time_tiled :
+  ?config:Config.t -> reps:int -> backend -> shape:Ivec.t -> Group.t ->
+  Kernel.t
+(** A kernel whose single invocation performs [reps] consecutive
+    applications of the group.  When [Timetile.plan] accepts the group the
+    applications are skew-blocked into ~one pass of memory traffic
+    (bitwise identical results to [reps] plain invocations, at any worker
+    count); otherwise the plain kernel is wrapped in a reps-loop, so the
+    observable semantics are uniform either way.  Under [Config.certify] a
+    time-tile plan is first vetted by
+    [Schedule_check.certify_timetile_plan] and an under-skewed or illegal
+    plan raises {!Certification_failed} with [SF024]/[SF025] diagnostics.
+    Cached under a distinct pseudo-backend, keyed by [reps] via
+    [Config.time_tile].  [reps = 1] is exactly {!compile}. *)
 
 val compile_stencil :
   ?config:Config.t -> backend -> shape:Ivec.t -> Stencil.t -> Kernel.t

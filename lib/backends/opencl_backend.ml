@@ -35,23 +35,66 @@ let plan_stencil (cfg : Config.t) ~shape s =
   in
   { stencil = s; work_groups; parallel_ok }
 
+(* Under Config.fusion, a multi-member cluster becomes ONE enqueue: its
+   work-groups each run the members in program order over their tile, a
+   "mega-kernel" making a single pass over the cluster's grids.  The
+   in-order queue still barriers between cluster enqueues. *)
+type launch_plan = {
+  label : string;
+  members : Stencil.t list;  (** program order *)
+  work_groups : Domain.resolved list;
+  parallel_ok : bool;
+}
+
+let cluster_plans (cfg : Config.t) ~shape clusters =
+  List.map
+    (fun (c : Fusion.cluster) ->
+      match c.Fusion.members with
+      | [ s ] ->
+          let e = plan_stencil cfg ~shape s in
+          {
+            label = s.Stencil.label;
+            members = [ s ];
+            work_groups = e.work_groups;
+            parallel_ok = e.parallel_ok;
+          }
+      | members ->
+          {
+            label =
+              String.concat "+"
+                (List.map (fun (s : Stencil.t) -> s.Stencil.label) members);
+            members;
+            work_groups = Fusion.cluster_work_groups cfg ~shape c;
+            parallel_ok = true;
+          })
+    clusters
+
 let compile (cfg : Config.t) ~shape (group : Group.t) =
   let shape = Array.copy shape in
-  let enqueues =
-    List.map (plan_stencil cfg ~shape) (Group.stencils group)
-  in
+  let clusters = Fusion.partition cfg ~shape group in
+  let fused = Fusion.fused_count clusters in
+  let plans = cluster_plans cfg ~shape clusters in
   (* a view of the shared persistent domain pool (compute units) *)
   let pool =
     Pool.create ~workers:cfg.Config.workers
     |> Pool.with_serial_cutoff cfg.Config.serial_cutoff
   in
   let description =
-    Printf.sprintf
-      "opencl: %d enqueue(s); tall-skinny %dx%d; %d compute unit(s)"
-      (List.length enqueues)
-      (fst cfg.Config.tall_skinny)
-      (snd cfg.Config.tall_skinny)
-      (Pool.workers pool)
+    if fused = 0 then
+      Printf.sprintf
+        "opencl: %d enqueue(s); tall-skinny %dx%d; %d compute unit(s)"
+        (List.length plans)
+        (fst cfg.Config.tall_skinny)
+        (snd cfg.Config.tall_skinny)
+        (Pool.workers pool)
+    else
+      Printf.sprintf
+        "opencl+fusion: %d stencil(s) as %d enqueue(s); tall-skinny %dx%d; \
+         %d compute unit(s); partition %s"
+        (Group.length group) (List.length plans)
+        (fst cfg.Config.tall_skinny)
+        (snd cfg.Config.tall_skinny)
+        (Pool.workers pool) (Fusion.describe clusters)
   in
   let cache = Run_cache.create () in
   let names = Group.grids group in
@@ -60,29 +103,44 @@ let compile (cfg : Config.t) ~shape (group : Group.t) =
       Run_cache.get cache ~grids ~names ~params (fun () ->
           if cfg.Config.validate then
             List.iter
-              (fun e -> Exec.validate_stencil grids ~shape e.stencil)
-              enqueues;
+              (fun p ->
+                List.iter (Exec.validate_stencil grids ~shape) p.members)
+              plans;
           List.map
-            (fun e ->
-              let label = e.stencil.Stencil.label in
-              let points = Domain.npoints_union e.work_groups in
-              let thunks =
-                let lookup =
-                  Kernel.param_lookup
-                    ~loc:(Srcloc.stencil ~group:group.Group.label label)
-                    params
-                in
-                let instantiate =
-                  Exec.prepare_compiled grids ~params:lookup e.stencil
-                in
-                List.map instantiate e.work_groups
+            (fun p ->
+              let label = p.label in
+              let points =
+                Domain.npoints_union p.work_groups * List.length p.members
               in
-              if e.parallel_ok then
+              let thunks =
+                let instantiates =
+                  List.map
+                    (fun (s : Stencil.t) ->
+                      let lookup =
+                        Kernel.param_lookup
+                          ~loc:
+                            (Srcloc.stencil ~group:group.Group.label
+                               s.Stencil.label)
+                          params
+                      in
+                      Exec.prepare_compiled grids ~params:lookup s)
+                    p.members
+                in
+                List.map
+                  (fun wg ->
+                    match instantiates with
+                    | [ inst ] -> inst wg
+                    | insts ->
+                        let fs = List.map (fun inst -> inst wg) insts in
+                        fun () -> List.iter (fun f -> f ()) fs)
+                  p.work_groups
+              in
+              if p.parallel_ok then
                 `Parallel (label, points, Array.of_list thunks)
               else
                 `Sequential
                   (label, points, fun () -> List.iter (fun f -> f ()) thunks))
-            enqueues)
+            plans)
     in
     let launch = function
       | `Parallel (_, points, tasks) -> Pool.run_tasks ~points pool tasks

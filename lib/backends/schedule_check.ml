@@ -151,6 +151,166 @@ let opencl_plan config ~shape group =
       else [ { stencil = s; tiles = e.Opencl_backend.work_groups } ])
     (Group.stencils group)
 
+(* ----------------------------------------------------- fused-plan tasks
+
+   A fused task runs several stencils in program order over the same
+   tiles, so it may write several grids; the single-output bucketing
+   above does not fit.  The core is the same — bucket on grid name,
+   intersect only writer x writer and writer x reader pairs — with writes
+   kept per grid.  Intra-task overlap is never a conflict (members run
+   sequentially within the task). *)
+
+type fused_task = { members : Stencil.t list; ftiles : Domain.resolved list }
+
+let fused_label f =
+  String.concat "+" (List.map (fun (s : Stencil.t) -> s.Stencil.label) f.members)
+
+(* merge duplicate grid keys, preserving first-occurrence order *)
+let group_lats assocs =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (g, lats) ->
+      (match Hashtbl.find_opt tbl g with
+      | None -> order := g :: !order
+      | Some _ -> ());
+      Hashtbl.replace tbl g
+        (Option.value ~default:[] (Hashtbl.find_opt tbl g) @ lats))
+    assocs;
+  List.rev_map (fun g -> (g, Hashtbl.find tbl g)) !order
+
+let fused_writes f =
+  group_lats
+    (List.map
+       (fun (s : Stencil.t) ->
+         ( s.Stencil.output,
+           List.map (Footprint.affine_image s.Stencil.out_map) f.ftiles ))
+       f.members)
+
+let fused_reads f =
+  group_lats
+    (List.concat_map
+       (fun (s : Stencil.t) ->
+         List.map
+           (fun (g, m) -> (g, List.map (Footprint.affine_image m) f.ftiles))
+           (Stencil.reads s))
+       f.members)
+
+let fused_wave_conflicts (tasks : fused_task list) =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let writes = Array.map fused_writes arr in
+  let reads = Array.map fused_reads arr in
+  let push tbl g i =
+    Hashtbl.replace tbl g
+      (i :: Option.value ~default:[] (Hashtbl.find_opt tbl g))
+  in
+  let writers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let readers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    List.iter (fun (g, _) -> push writers g i) writes.(i);
+    List.iter (fun (g, _) -> push readers g i) reads.(i)
+  done;
+  let conflicts = ref [] in
+  let add i j grid kind =
+    let i, j, kind =
+      if i <= j then (i, j, kind)
+      else
+        ( j,
+          i,
+          match kind with
+          | "write/read" -> "read/write"
+          | "read/write" -> "write/read"
+          | k -> k )
+    in
+    conflicts :=
+      {
+        first = i;
+        second = j;
+        first_label = fused_label arr.(i);
+        second_label = fused_label arr.(j);
+        grid;
+        kind;
+      }
+      :: !conflicts
+  in
+  Hashtbl.iter
+    (fun g ws ->
+      let wlats i = List.assoc g writes.(i) in
+      let rec ww = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                if Footprint.lattice_lists_intersect (wlats i) (wlats j) then
+                  add i j g "write/write")
+              rest;
+            ww rest
+      in
+      ww ws;
+      List.iter
+        (fun w ->
+          match Hashtbl.find_opt readers g with
+          | None -> ()
+          | Some rs ->
+              List.iter
+                (fun r ->
+                  if r <> w then
+                    let rlats = List.assoc g reads.(r) in
+                    if Footprint.lattice_lists_intersect (wlats w) rlats then
+                      add w r g "write/read")
+                rs)
+        ws)
+    writers;
+  List.sort_uniq compare !conflicts
+
+let fused_waves_conflicts waves =
+  List.mapi (fun w wave -> (w, fused_wave_conflicts wave)) waves
+  |> List.filter (fun (_, cs) -> cs <> [])
+
+let singleton_openmp_tasks config ~shape s =
+  let p = Openmp_backend.plan_stencil config ~shape s in
+  if p.Openmp_backend.parallel_ok then
+    List.map
+      (fun tile -> { members = [ s ]; ftiles = [ tile ] })
+      p.Openmp_backend.tiles
+  else [ { members = [ s ]; ftiles = p.Openmp_backend.tiles } ]
+
+let fused_openmp_plan config ~shape group =
+  let clusters = Array.of_list (Fusion.partition config ~shape group) in
+  let waves = Fusion.waves ~shape (Array.to_list clusters) in
+  List.map
+    (fun wave ->
+      List.concat_map
+        (fun ci ->
+          let c = clusters.(ci) in
+          match c.Fusion.members with
+          | [ s ] -> singleton_openmp_tasks config ~shape s
+          | members ->
+              List.map
+                (fun tile -> { members; ftiles = [ tile ] })
+                (Fusion.cluster_tiles config ~shape c))
+        wave)
+    waves
+
+let fused_opencl_plan config ~shape group =
+  (* in-order queue: every cluster enqueue is its own wave *)
+  List.map
+    (fun (c : Fusion.cluster) ->
+      match c.Fusion.members with
+      | [ s ] ->
+          let e = Opencl_backend.plan_stencil config ~shape s in
+          if e.Opencl_backend.parallel_ok then
+            List.map
+              (fun wg -> { members = [ s ]; ftiles = [ wg ] })
+              e.Opencl_backend.work_groups
+          else [ { members = [ s ]; ftiles = e.Opencl_backend.work_groups } ]
+      | members ->
+          List.map
+            (fun wg -> { members; ftiles = [ wg ] })
+            (Fusion.cluster_work_groups config ~shape c))
+    (Fusion.partition config ~shape group)
+
 (* ------------------------------------------------------- certification *)
 
 let backend_name = function `Openmp -> "openmp" | `Opencl -> "opencl"
@@ -214,4 +374,63 @@ let certify config ~shape ~backend group =
           cs)
       (waves_conflicts plan)
   in
-  overrides @ races
+  (* with fusion on, the backend executes the fused plan — re-prove it
+     race-free at fused-task granularity (only when something actually
+     fused: otherwise the fused plan is the base plan already checked) *)
+  let fused =
+    let clusters = Fusion.partition config ~shape group in
+    if not (config.Config.fusion && Fusion.fused_count clusters > 0) then []
+    else
+      let fplan =
+        match backend with
+        | `Openmp -> fused_openmp_plan config ~shape group
+        | `Opencl -> fused_opencl_plan config ~shape group
+      in
+      List.concat_map
+        (fun (w, cs) ->
+          List.map
+            (fun c ->
+              Diagnostics.make ~code:"SF023" ~severity:Diagnostics.Error
+                ~loc:(Srcloc.group group.Group.label)
+                ~hint:
+                  "the cluster is not cofusible under this configuration; \
+                   disable fusion for this group or split the cluster"
+                (Printf.sprintf "%s fused plan, wave %d: %s" bname w
+                   (conflict_to_string c)))
+            cs)
+        (fused_waves_conflicts fplan)
+  in
+  overrides @ races @ fused
+
+(* ------------------------------------------------ time-tile certification *)
+
+let certify_timetile _config ~shape group =
+  List.map
+    (fun (label, reason) ->
+      Diagnostics.make ~code:"SF025" ~severity:Diagnostics.Error
+        ~loc:
+          (match stencil_index group label with
+          | Some index -> Srcloc.stencil ~group:group.Group.label ~index label
+          | None -> Srcloc.stencil ~group:group.Group.label label)
+        ~hint:
+          "time-tiling needs identity writes, point-parallel sub-steps and \
+           unit-scale reads of group-written grids; run the smoother \
+           untiled (Config.time_tile = 1)"
+        (Printf.sprintf "group cannot be time-tiled: stencil %s" reason))
+    (Timetile.illegalities ~shape group)
+
+let certify_timetile_plan config ~shape (p : Timetile.plan) =
+  let base = certify_timetile config ~shape p.Timetile.group in
+  let req = Timetile.required_skew p.Timetile.group in
+  if p.Timetile.skew >= req then base
+  else
+    Diagnostics.make ~code:"SF024" ~severity:Diagnostics.Error
+      ~loc:(Srcloc.group p.Timetile.group.Group.label)
+      ~hint:
+        (Printf.sprintf "raise the skew to at least %d (the maximum axis-0 \
+                         dependence distance of the group)" req)
+      (Printf.sprintf
+         "time-tile skew %d is below the dependence slope %d: slab seams \
+          would read stale or future values"
+         p.Timetile.skew req)
+    :: base

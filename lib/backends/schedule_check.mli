@@ -57,6 +57,32 @@ val opencl_plan :
 (** Work-group decomposition of the OpenCL backend; each enqueue is its
     own wave (in-order queue). *)
 
+(** {2 Fused plans}
+
+    A fused task runs several stencils in program order over shared
+    tiles, so it may write several grids.  The conflict core is the same
+    bucketed lattice intersection, generalised to per-grid write sets;
+    intra-task overlap is never a conflict (members are sequential within
+    a task). *)
+
+type fused_task = { members : Stencil.t list; ftiles : Domain.resolved list }
+
+val fused_wave_conflicts : fused_task list -> conflict list
+(** Conflicting pairs of concurrent fused tasks; labels are the joined
+    member labels (["a+b"]). *)
+
+val fused_waves_conflicts : fused_task list list -> (int * conflict list) list
+
+val fused_openmp_plan :
+  Config.t -> shape:Sf_util.Ivec.t -> Group.t -> fused_task list list
+(** The wave/task decomposition the OpenMP backend executes under
+    [Config.fusion]: singleton clusters keep the per-stencil plan
+    byte-identical to {!openmp_plan}; multi-member clusters become one
+    task per shared tile. *)
+
+val fused_opencl_plan :
+  Config.t -> shape:Sf_util.Ivec.t -> Group.t -> fused_task list list
+
 val certify :
   Config.t ->
   shape:Sf_util.Ivec.t ->
@@ -66,4 +92,24 @@ val certify :
 (** Build the backend's plan under the given configuration and report
     every intra-wave conflict as an [SF021] error, plus an [SF022] warning
     for each [Config.force_parallel] label that overrides the analysis.
-    An empty (or error-free) result certifies the plan race-free. *)
+    When [Config.fusion] is on and the partition actually fused
+    something, the fused plan is re-proven at fused-task granularity and
+    its conflicts reported as [SF023] errors.  An empty (or error-free)
+    result certifies the plan race-free. *)
+
+val certify_timetile :
+  Config.t ->
+  shape:Sf_util.Ivec.t ->
+  Group.t ->
+  Sf_analysis.Diagnostics.t list
+(** One [SF025] error per property that forbids time-tiling the group
+    ({!Timetile.illegalities}); empty iff [Timetile.legal]. *)
+
+val certify_timetile_plan :
+  Config.t ->
+  shape:Sf_util.Ivec.t ->
+  Timetile.plan ->
+  Sf_analysis.Diagnostics.t list
+(** {!certify_timetile} plus an [SF024] error when the plan's skew is
+    below {!Timetile.required_skew} — the mis-skewed plan the fuzzer
+    injects is rejected here before any backend sees it. *)

@@ -71,5 +71,28 @@ let tall_skinny ~tile:(trows, tcols) r =
     split_axis ~axis:(n - 2) ~tile:trows r
     |> List.concat_map (split_axis ~axis:(n - 1) ~tile:tcols)
 
+(* Intersect with the coordinate half-open window [lo, hi) on one axis,
+   keeping the stride congruence class: the clipped lattice starts at the
+   first original lattice point >= lo.  Consecutive windows therefore
+   partition the lattice exactly — the property the skewed time-tile
+   slabs rely on. *)
+let clip_axis ~axis ~lo ~hi (r : Domain.resolved) =
+  let s = r.Domain.rstride.(axis) in
+  let rlo0 = r.Domain.rlo.(axis) and rhi0 = r.Domain.rhi.(axis) in
+  let lo = max lo rlo0 and hi = min hi rhi0 in
+  if lo >= hi then None
+  else begin
+    (* first lattice point >= lo in rlo0's congruence class mod s
+       (lo >= rlo0 here, so the division is over non-negatives) *)
+    let start = rlo0 + (((lo - rlo0 + s - 1) / s) * s) in
+    if start >= hi then None
+    else begin
+      let rlo = Array.copy r.Domain.rlo and rhi = Array.copy r.Domain.rhi in
+      rlo.(axis) <- start;
+      rhi.(axis) <- hi;
+      Some Domain.{ rlo; rhi; rstride = Array.copy r.Domain.rstride }
+    end
+  end
+
 let npoints_total rs =
   List.fold_left (fun acc r -> acc + Domain.npoints r) 0 rs

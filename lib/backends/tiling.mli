@@ -29,6 +29,15 @@ val tall_skinny :
     the work-group then "rolls upward" through those.  In 1-D, tiles only
     the single axis with the second component. *)
 
+val clip_axis :
+  axis:int -> lo:int -> hi:int -> Domain.resolved -> Domain.resolved option
+(** Intersect the lattice with the coordinate window [[lo, hi)] on [axis],
+    preserving the stride congruence class (the clipped lattice starts at
+    the first original lattice point [>= lo]).  [None] when the
+    intersection is empty.  Clips over consecutive windows partition the
+    lattice exactly — the invariant the skewed time-tile slabs of
+    [Timetile] are built on. *)
+
 val npoints_total : Domain.resolved list -> int
 (** Sum of points over tiles (equals the input's point count for any
     partition produced here). *)

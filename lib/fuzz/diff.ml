@@ -3,30 +3,44 @@ open Sf_mesh
 open Snowflake
 open Sf_backends
 
-type target = { backend : Jit.backend; config : Config.t; tname : string }
+type target = {
+  backend : Jit.backend;
+  config : Config.t;
+  tname : string;
+  apps : int;
+}
 
 let default_targets ~dims =
   let w n c = Config.with_workers n c in
   let tile = Some (List.init dims (fun _ -> 3)) in
+  let t backend config tname = { backend; config; tname; apps = 1 } in
   [
-    { backend = Jit.Compiled; config = Config.default; tname = "compiled" };
-    { backend = Jit.Openmp; config = w 1 Config.default; tname = "openmp/w1" };
-    { backend = Jit.Openmp; config = w 4 Config.default; tname = "openmp/w4" };
+    t Jit.Compiled Config.default "compiled";
+    t Jit.Openmp (w 1 Config.default) "openmp/w1";
+    t Jit.Openmp (w 4 Config.default) "openmp/w4";
+    t Jit.Openmp { (w 2 Config.default) with Config.tile } "openmp/w2/tile";
+    t Jit.Openmp
+      { (w 4 Config.default) with Config.multicolor = true }
+      "openmp/w4/multicolor";
+    t Jit.Opencl (w 2 Config.default) "opencl/w2";
+    t Jit.Opencl
+      { (w 2 Config.default) with Config.tall_skinny = (2, 3) }
+      "opencl/w2/ts";
+    (* fused plans join the matrix: same one-application semantics, the
+       backend is free to fuse cofusible stencils into single sweeps *)
+    t Jit.Openmp
+      { (w 4 Config.default) with Config.fusion = true }
+      "openmp/w4/fused";
+    t Jit.Opencl
+      { (w 2 Config.default) with Config.fusion = true }
+      "opencl/w2/fused";
+    (* temporal blocking: three applications as one (possibly skewed
+       time-tiled) kernel, vs three interp applications as oracle *)
     {
       backend = Jit.Openmp;
-      config = { (w 2 Config.default) with Config.tile };
-      tname = "openmp/w2/tile";
-    };
-    {
-      backend = Jit.Openmp;
-      config = { (w 4 Config.default) with Config.multicolor = true };
-      tname = "openmp/w4/multicolor";
-    };
-    { backend = Jit.Opencl; config = w 2 Config.default; tname = "opencl/w2" };
-    {
-      backend = Jit.Opencl;
-      config = { (w 2 Config.default) with Config.tall_skinny = (2, 3) };
-      tname = "opencl/w2/ts";
+      config = w 4 Config.default;
+      tname = "openmp/w4/ttile3";
+      apps = 3;
     };
   ]
 
@@ -62,15 +76,29 @@ let divergence_to_string d =
 let run_target spec target =
   let grids = Gen.build_grids spec in
   let kernel =
-    Jit.compile ~config:target.config target.backend ~shape:spec.shape
-      spec.group
+    match target.backend with
+    | _ when target.apps <= 1 ->
+        Jit.compile ~config:target.config target.backend ~shape:spec.shape
+          spec.group
+    | Jit.Custom _ ->
+        (* an injected multi-application backend builds its own
+           [apps]-application kernel — don't wrap it again *)
+        Jit.compile ~config:target.config target.backend ~shape:spec.shape
+          spec.group
+    | _ ->
+        Jit.compile_time_tiled ~config:target.config ~reps:target.apps
+          target.backend ~shape:spec.shape spec.group
   in
   kernel.Kernel.run ~params:spec.params grids;
   grids
 
-let run_reference spec =
-  run_target spec
-    { backend = Jit.Interp; config = Config.default; tname = "interp" }
+let run_reference ?(apps = 1) spec =
+  let grids = Gen.build_grids spec in
+  let kernel = Jit.compile Jit.Interp ~shape:spec.shape spec.group in
+  for _ = 1 to apps do
+    kernel.Kernel.run ~params:spec.params grids
+  done;
+  grids
 
 let compare_grids ~ulps ~atol ~target reference got =
   let rec go = function
@@ -93,7 +121,17 @@ let compare_grids ~ulps ~atol ~target reference got =
   go (Grids.names reference)
 
 let check ?(ulps = 512) ?(atol = 1e-11) ~targets spec =
-  let reference = run_reference spec in
+  (* one oracle per application count: a time-tiled target doing k
+     applications compares against k interp applications *)
+  let references = Hashtbl.create 4 in
+  let reference_for apps =
+    match Hashtbl.find_opt references apps with
+    | Some g -> g
+    | None ->
+        let g = run_reference ~apps spec in
+        Hashtbl.add references apps g;
+        g
+  in
   let rec go = function
     | [] -> Ok ()
     | t :: rest -> (
@@ -111,7 +149,11 @@ let check ?(ulps = 512) ?(atol = 1e-11) ~targets spec =
                 crashed = Some (Printexc.to_string e);
               }
         | got -> (
-            match compare_grids ~ulps ~atol ~target:t.tname reference got with
+            match
+              compare_grids ~ulps ~atol ~target:t.tname
+                (reference_for (max 1 t.apps))
+                got
+            with
             | Ok () -> go rest
             | Error d -> Error d))
   in
@@ -124,6 +166,7 @@ type bug =
   | Perturb_first_cell
   | Kernel_raise
   | Nan_poison_cell
+  | Mis_skew_tile
 
 let buggy_name = "sffuzz-buggy"
 
@@ -169,5 +212,33 @@ let injected_target bug =
             ~description:"compiled + one NaN-poisoned cell"
             (fun ?params grids ->
               k.Kernel.run ?params grids;
-              Mesh.set_flat (Grids.find grids out) 0 Float.nan));
-  { backend = Jit.Custom buggy_name; config = Config.default; tname = buggy_name }
+              Mesh.set_flat (Grids.find grids out) 0 Float.nan)
+      | Mis_skew_tile -> (
+          (* a two-application temporal block whose skew is forced to 0:
+             whenever the group actually carries an axis-0 dependence
+             (required skew >= 1) and the slab is narrower than the axis,
+             sub-step 2 reads stale neighbours across slab seams — exactly
+             the bug [Schedule_check.certify_timetile_plan] flags as SF024,
+             here smuggled past the certifier for the oracle to catch *)
+          match
+            if Timetile.required_skew group > 0 then
+              Timetile.plan ~skew:0 ~block:2 config ~shape ~reps:2 group
+            else None
+          with
+          | Some p -> Timetile.compile config ~shape p
+          | None ->
+              (* not susceptible (no axis-0 dependence, or untileable):
+                 degrade to an honest two-application loop so the target
+                 stays divergence-free *)
+              let k = Serial_backend.compile_compiled config ~shape group in
+              Kernel.make ~name:k.Kernel.name ~backend:buggy_name
+                ~description:"two plain applications"
+                (fun ?params grids ->
+                  k.Kernel.run ?params grids;
+                  k.Kernel.run ?params grids)));
+  {
+    backend = Jit.Custom buggy_name;
+    config = Config.default;
+    tname = buggy_name;
+    apps = (match bug with Mis_skew_tile -> 2 | _ -> 1);
+  }

@@ -12,12 +12,20 @@ type target = {
   backend : Sf_backends.Jit.backend;
   config : Sf_backends.Config.t;
   tname : string;  (** display name, e.g. ["openmp/w4/tile"] *)
+  apps : int;
+      (** applications per run (usually 1).  A target with [apps = k > 1]
+          runs one [Jit.compile_time_tiled ~reps:k] kernel and is compared
+          against k interp applications — the temporal-blocking oracle.
+          [Custom] backends with [apps > 1] must build the k-application
+          kernel themselves. *)
 }
 
 val default_targets : dims:int -> target list
 (** The standard matrix: [compiled] (default config), [openmp] at 1 and 4
     workers, with explicit dims-matched tiles, with multicolor
-    reordering, and [opencl] with default and tall-skinny work groups. *)
+    reordering, [opencl] with default and tall-skinny work groups, plus
+    the fused openmp/opencl plans and a 3-application time-tiled openmp
+    target. *)
 
 val targets_for : only:string list option -> dims:int -> target list
 (** {!default_targets} filtered to the given backend names
@@ -36,8 +44,8 @@ type divergence = {
 
 val divergence_to_string : divergence -> string
 
-val run_reference : Gen.spec -> Sf_mesh.Grids.t
-(** One interp run over fresh grids. *)
+val run_reference : ?apps:int -> Gen.spec -> Sf_mesh.Grids.t
+(** [apps] (default 1) interp applications over fresh grids. *)
 
 val check :
   ?ulps:int -> ?atol:float -> targets:target list -> Gen.spec ->
@@ -71,6 +79,12 @@ type bug =
       (** runs correctly, then writes NaN into one cell of the first
           stencil's output — the silent-data-corruption shape
           [Sf_resilience.Guard] scans for *)
+  | Mis_skew_tile
+      (** a two-application temporal block with its skew forced to 0 —
+          models the classic time-tiling bug (stale reads across slab
+          seams) that [Schedule_check.certify_timetile_plan] rejects as
+          SF024, smuggled past the certifier; groups with no axis-0
+          dependence degrade to an honest loop *)
 
 val injected_target : bug -> target
 (** Registers (or re-registers) the buggy micro-compiler under the name

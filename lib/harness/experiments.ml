@@ -718,6 +718,136 @@ let run_pool opts =
      spawn-per-wave at %d workers]\n"
     headline max_w
 
+(* F1: the tentpole perf experiment — unfused vs fused-config vs
+   temporally-blocked 4-sweep GSRB.  GSRB's colour sweeps are provably
+   not cofusible (the fused row documents that the partition stays
+   singleton and costs nothing); the memory-traffic win comes from the
+   time-tiled variant, which runs all 4 sweeps in one skewed pass.
+   Writes BENCH_fusion.json so the bytes/cell trajectory is tracked
+   across PRs. *)
+let run_fusion_bench opts =
+  let sweeps = 4 in
+  heading
+    (Printf.sprintf
+       "F1: cross-wave fusion + temporal blocking, %d-sweep GSRB (openmp, \
+        %d workers)"
+       sweeps opts.workers);
+  let host = Lazy.force host_machine in
+  let bw = host.Machine.bandwidth_gbs in
+  Printf.printf "STREAM bandwidth: %.2f GB/s (roofline reference)\n" bw;
+  let sizes = [ 32; 64; 128 ] in
+  let group = Operators.gsrb_smooth in
+  let base = Config.with_workers opts.workers Config.default in
+  let t =
+    Tabular.create
+      ~headers:
+        [ "n"; "variant"; "plan"; "bytes/cell"; "wall"; "GB/s"; "%roofline" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let level = prepared_level n in
+      let shape = level.Level.shape in
+      let params = Level.params level in
+      let grids = level.Level.grids in
+      let run_variant (variant, plan, bytes, kernel, runs_per_sample) =
+        let dt =
+          Timer.time ~label:variant ~warmup:1 ~repeats:opts.repeats
+            (fun () ->
+              for _ = 1 to runs_per_sample do
+                kernel.Kernel.run ~params grids
+              done)
+        in
+        let cells = sweeps * n * n * n in
+        let bytes_per_cell = float_of_int bytes /. float_of_int cells in
+        let gbs = float_of_int bytes /. dt /. 1e9 in
+        let pct = 100. *. gbs /. bw in
+        rows := (n, variant, plan, bytes_per_cell, dt, gbs, pct) :: !rows;
+        Tabular.add_row t
+          [
+            string_of_int n;
+            variant;
+            plan;
+            Printf.sprintf "%.1f" bytes_per_cell;
+            sec_fmt dt;
+            Printf.sprintf "%.2f" gbs;
+            Printf.sprintf "%.1f%%" pct;
+          ]
+      in
+      let unfused_cfg = { base with Config.fusion = false } in
+      let fused_cfg = { base with Config.fusion = true } in
+      let app_bytes cfg =
+        (Costing.of_clusters ~shape
+           (List.map
+              (fun (c : Fusion.cluster) -> c.Fusion.members)
+              (Fusion.partition cfg ~shape group)))
+          .Costing.bytes
+      in
+      run_variant
+        ( "unfused",
+          "4 plain sweeps",
+          sweeps * app_bytes unfused_cfg,
+          Jit.compile ~config:unfused_cfg Jit.Openmp ~shape group,
+          sweeps );
+      run_variant
+        ( "fused",
+          "fusion " ^ Fusion.describe (Fusion.partition fused_cfg ~shape group),
+          sweeps * app_bytes fused_cfg,
+          Jit.compile ~config:fused_cfg Jit.Openmp ~shape group,
+          sweeps );
+      let tplan =
+        match Timetile.plan base ~shape ~reps:sweeps group with
+        | Some p -> Timetile.describe p
+        | None -> "plain loop"
+      in
+      run_variant
+        ( "ttile4",
+          tplan,
+          (Costing.of_timetile ~shape ~reps:sweeps group).Costing.bytes,
+          Jit.compile_time_tiled ~config:base ~reps:sweeps Jit.Openmp ~shape
+            group,
+          1 ))
+    sizes;
+  let rows = List.rev !rows in
+  emit_table "fusion_bench" t;
+  (* headline at the largest size: model bytes and measured wall, plain
+     vs time-tiled *)
+  let pick variant =
+    List.find (fun (n, v, _, _, _, _, _) -> n = List.fold_left max 0 sizes && v = variant) rows
+  in
+  let _, _, _, b_plain, w_plain, _, _ = pick "unfused" in
+  let _, _, _, b_tile, w_tile, _, _ = pick "ttile4" in
+  let bytes_ratio = b_plain /. b_tile in
+  let wall_ratio = w_plain /. w_tile in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"benchmark\": \"fusion-timetile-gsrb\",\n";
+  Printf.bprintf buf "  \"sweeps\": %d,\n" sweeps;
+  Printf.bprintf buf "  \"workers\": %d,\n" opts.workers;
+  Printf.bprintf buf "  \"stream_gbs\": %.2f,\n" bw;
+  Printf.bprintf buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (n, variant, plan, bpc, wall, gbs, pct) ->
+      Printf.bprintf buf
+        "    {\"n\": %d, \"variant\": %S, \"plan\": %S, \"bytes_per_cell\": \
+         %.2f, \"wall_s\": %.6f, \"gbs\": %.2f, \"roofline_pct\": %.1f}%s\n"
+        n variant plan bpc wall gbs pct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.bprintf buf "  ],\n";
+  Printf.bprintf buf "  \"bytes_per_cell_ratio_unfused_vs_ttile\": %.2f,\n"
+    bytes_ratio;
+  Printf.bprintf buf "  \"wallclock_ratio_unfused_vs_ttile\": %.2f\n"
+    wall_ratio;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_fusion.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "[BENCH_fusion.json written: time depth %d cuts model traffic %.2fx \
+     (wall-clock %.2fx) vs %d plain sweeps at %d^3]\n"
+    sweeps bytes_ratio wall_ratio sweeps (List.fold_left max 0 sizes)
+
 (* A correctness gate printed into the benchmark log, in the spirit of
    HPGMG's built-in verification: the numbers above only matter if these
    hold. *)

@@ -66,6 +66,14 @@ val run_pool : opts -> unit
     16³-point waves.  Writes [BENCH_pool.json] into the working directory
     so the orchestration-overhead trajectory is tracked across PRs. *)
 
+val run_fusion_bench : opts -> unit
+(** F1: unfused vs fused-config vs temporally-blocked 4-sweep GSRB at
+    32³/64³/128³ on the OpenMP backend, with model bytes/cell, measured
+    wall-clock and % of STREAM roofline per variant.  Writes
+    [BENCH_fusion.json] (headline: bytes/cell and wall-clock ratios of
+    4 plain sweeps vs one time-depth-4 pass) into the working directory
+    so the traffic trajectory is tracked across PRs. *)
+
 val run_verify : opts -> unit
 (** V0: an HPGMG-style correctness gate printed into the benchmark log —
     convergence factor, discretisation error, DSL-vs-hand agreement,

@@ -194,6 +194,64 @@ let smooth_untimed t i =
 let smooth t i =
   timed t (Printf.sprintf "smooth L%d" i) (fun () -> smooth_untimed t i)
 
+(* [count] consecutive smoother applications, temporally blocked when the
+   jit config asks for it ([Config.time_tile] = depth k) and the smoother
+   group is provably tileable: count/k applications run as one time-tiled
+   kernel each (k sweeps for ~one pass of memory traffic, results bitwise
+   identical to k plain smooths), the remainder as plain smooths.  An
+   untileable smoother silently degrades to plain smooths — the knob is a
+   performance request, never a semantics change. *)
+let smooth_steps_untimed t i ~count =
+  let level = t.levels.(i) in
+  let shape = level.Level.shape in
+  let group = smoother_group t.config.smoother in
+  let k = t.config.jit.Config.time_tile in
+  let tiled =
+    if k > 1 && count >= k && Timetile.legal ~shape group then k else 1
+  in
+  if tiled > 1 then begin
+    let kernel =
+      Jit.compile_time_tiled ~config:t.config.jit ~reps:tiled t.active_backend
+        ~shape group
+    in
+    let params = smoother_params t.config level in
+    for _ = 1 to count / tiled do
+      kernel.Kernel.run ~params level.Level.grids
+    done;
+    for _ = 1 to count mod tiled do
+      smooth_untimed t i
+    done
+  end
+  else
+    for _ = 1 to count do
+      smooth_untimed t i
+    done
+
+let smooth_steps t i ~count =
+  timed t
+    (Printf.sprintf "smooth L%d" i)
+    (fun () -> smooth_steps_untimed t i ~count)
+
+(* the finest-level smoother plan, for [--profile] reports *)
+let smoother_plan t =
+  let level = finest t in
+  let shape = level.Level.shape in
+  let group = smoother_group t.config.smoother in
+  let cfg = t.config.jit in
+  let fusion =
+    if cfg.Config.fusion then
+      "fusion " ^ Fusion.describe (Fusion.partition cfg ~shape group)
+    else "fusion off"
+  in
+  let temporal =
+    if cfg.Config.time_tile > 1 then
+      match Timetile.plan cfg ~shape ~reps:cfg.Config.time_tile group with
+      | Some p -> Timetile.describe p
+      | None -> Printf.sprintf "time depth %d (illegal: plain loop)" cfg.Config.time_tile
+    else "time depth 1"
+  in
+  Printf.sprintf "%s; %s" fusion temporal
+
 let compute_residual t i =
   let level = t.levels.(i) in
   let kernel = compile t residual_group ~shape:level.Level.shape in
@@ -224,14 +282,9 @@ let rec cycle t i =
   if i = coarsest then
     timed t
       (Printf.sprintf "bottom L%d" i)
-      (fun () ->
-        for _ = 1 to t.config.coarse_iters do
-          smooth_untimed t i
-        done)
+      (fun () -> smooth_steps_untimed t i ~count:t.config.coarse_iters)
   else begin
-    for _ = 1 to t.config.smooths do
-      smooth t i
-    done;
+    smooth_steps t i ~count:t.config.smooths;
     compute_residual t i;
     let fine = t.levels.(i) and coarse = t.levels.(i + 1) in
     timed t
@@ -242,9 +295,7 @@ let rec cycle t i =
     timed t
       (Printf.sprintf "interp L%d->L%d" (i + 1) i)
       (fun () -> interpolate_and_correct t ~coarse ~fine);
-    for _ = 1 to t.config.smooths do
-      smooth t i
-    done
+    smooth_steps t i ~count:t.config.smooths
   end
 
 let cycle_args t =
@@ -268,9 +319,7 @@ let fcycle_untraced t =
   (* bottom solve *)
   let bottom = nlevels - 1 in
   Mesh.fill (Level.u t.levels.(bottom)) 0.;
-  for _ = 1 to t.config.coarse_iters do
-    smooth t bottom
-  done;
+  smooth_steps t bottom ~count:t.config.coarse_iters;
   (* prolong upward, one V-cycle per level *)
   for i = nlevels - 2 downto 0 do
     Mesh.fill (Level.u t.levels.(i)) 0.;

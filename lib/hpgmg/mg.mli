@@ -60,6 +60,20 @@ val smooth : t -> int -> unit
 (** One smoother application (e.g. boundaries/red/boundaries/black for
     GSRB) on level [i]. *)
 
+val smooth_steps : t -> int -> count:int -> unit
+(** [count] consecutive smoother applications on level [i], temporally
+    blocked when [config.jit.time_tile > 1] and the smoother group is
+    [Timetile]-legal: count/k applications run as time-tiled kernels of
+    depth k (bitwise identical to plain smooths, ~one memory pass per k
+    sweeps), the remainder — and any untileable smoother — as plain
+    smooths.  The V-cycle's pre/post-smooth loops and the bottom solve go
+    through this. *)
+
+val smoother_plan : t -> string
+(** Human summary of the finest-level smoother plan (fusion partition and
+    temporal blocking) under the instance's jit config — what
+    [hpgmg_run --profile] prints. *)
+
 val compute_residual : t -> int -> unit
 (** res ← f − A u on level [i] (boundaries applied first). *)
 

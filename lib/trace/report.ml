@@ -88,6 +88,17 @@ let counters_line () =
         c.Trace.rank_recoveries
   else base
 
+let counters_line () =
+  let c = Trace.counters () in
+  let base = counters_line () in
+  (* like the resilience segment: only sessions that consulted the tuning
+     DB grow the extra segment *)
+  if c.Trace.tune_db_hits + c.Trace.tune_db_misses > 0 then
+    base
+    ^ Printf.sprintf "; tuning db %d hit(s) / %d miss(es)"
+        c.Trace.tune_db_hits c.Trace.tune_db_misses
+  else base
+
 let print_summary ?machine () =
   print_string (summary_table ?machine ());
   print_newline ();

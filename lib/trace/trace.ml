@@ -60,6 +60,8 @@ type counter =
   | Guard_trips
   | Tasks_skipped
   | Rank_recoveries
+  | Tune_db_hits
+  | Tune_db_misses
 
 let cells_c = Atomic.make 0
 let chunks_c = Atomic.make 0
@@ -74,6 +76,8 @@ let rollbacks_c = Atomic.make 0
 let guard_trips_c = Atomic.make 0
 let skipped_c = Atomic.make 0
 let recoveries_c = Atomic.make 0
+let tune_hits_c = Atomic.make 0
+let tune_misses_c = Atomic.make 0
 
 let cell_of = function
   | Cells_updated -> cells_c
@@ -89,6 +93,8 @@ let cell_of = function
   | Guard_trips -> guard_trips_c
   | Tasks_skipped -> skipped_c
   | Rank_recoveries -> recoveries_c
+  | Tune_db_hits -> tune_hits_c
+  | Tune_db_misses -> tune_misses_c
 
 let add c n = if on () then ignore (Atomic.fetch_and_add (cell_of c) n)
 
@@ -106,6 +112,8 @@ type counters = {
   guard_trips : int;
   tasks_skipped : int;
   rank_recoveries : int;
+  tune_db_hits : int;
+  tune_db_misses : int;
 }
 
 let counters () =
@@ -123,6 +131,8 @@ let counters () =
     guard_trips = Atomic.get guard_trips_c;
     tasks_skipped = Atomic.get skipped_c;
     rank_recoveries = Atomic.get recoveries_c;
+    tune_db_hits = Atomic.get tune_hits_c;
+    tune_db_misses = Atomic.get tune_misses_c;
   }
 
 (* -------------------------------------------------------- roofline join *)
@@ -209,7 +219,7 @@ let clear () =
     [
       cells_c; chunks_c; stolen_c; inline_c; hits_c; misses_c; faults_c;
       retries_c; failovers_c; rollbacks_c; guard_trips_c; skipped_c;
-      recoveries_c;
+      recoveries_c; tune_hits_c; tune_misses_c;
     ]
 
 (* ---------------------------------------------------------- aggregation *)
@@ -312,6 +322,8 @@ let counter_event ~ts =
             ("guard_trips", Json.Num (float_of_int c.guard_trips));
             ("tasks_skipped", Json.Num (float_of_int c.tasks_skipped));
             ("rank_recoveries", Json.Num (float_of_int c.rank_recoveries));
+            ("tune_db_hits", Json.Num (float_of_int c.tune_db_hits));
+            ("tune_db_misses", Json.Num (float_of_int c.tune_db_misses));
           ] );
     ]
 

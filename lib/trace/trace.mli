@@ -100,6 +100,8 @@ type counter =
   | Guard_trips  (** non-finite values caught by guard scans *)
   | Tasks_skipped  (** pool tasks drained unrun after a batch abort *)
   | Rank_recoveries  (** [Spmd] dead-rank reconstructions *)
+  | Tune_db_hits  (** autotuner plans served from the persistent DB *)
+  | Tune_db_misses  (** autotuner runs that had to measure candidates *)
 
 val add : counter -> int -> unit
 (** Atomic increment; no-op when tracing is disabled (callers in hot paths
@@ -119,6 +121,8 @@ type counters = {
   guard_trips : int;
   tasks_skipped : int;
   rank_recoveries : int;
+  tune_db_hits : int;
+  tune_db_misses : int;
 }
 
 val counters : unit -> counters

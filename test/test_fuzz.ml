@@ -89,6 +89,12 @@ let test_perturb_bug_caught () =
   check "witness magnitude is the injected 1e-3" true
     (Float.abs (d.Diff.expected -. d.Diff.got) >= 1e-4)
 
+let test_mis_skew_bug_caught () =
+  (* the two-application mis-skewed temporal block must be caught by the
+     multi-application oracle (two interp applications as reference) *)
+  let _, _, d = find_injected_failure Diff.Mis_skew_tile in
+  check "mis-skew caught" true (d.Diff.target = "sffuzz-buggy")
+
 let test_driver_reports_failures () =
   let opts =
     {
@@ -176,6 +182,8 @@ let () =
             test_injected_bug_shrinks;
           Alcotest.test_case "injected perturb caught" `Quick
             test_perturb_bug_caught;
+          Alcotest.test_case "injected mis-skew caught" `Quick
+            test_mis_skew_bug_caught;
           Alcotest.test_case "driver reports failures" `Quick
             test_driver_reports_failures;
         ] );
