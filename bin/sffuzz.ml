@@ -35,6 +35,21 @@ let run seed count max_dims backend ulps atol shrink max_shrink_evals
               (String.concat "," bad);
             exit 2)
   in
+  let log = log quiet in
+  (* undersize-channel is not a miscompiled backend but a runtime-state
+     fault against the pipelined-SPMD executor: shrink a certified ring
+     behind the certificate's back and require the SF034 depth gate to
+     refuse the run.  Self-contained, so it short-circuits the campaign. *)
+  (match inject with
+  | Some "undersize-channel" -> (
+      match Sf_fuzz.Oracle.pipeline_undersize_detected () with
+      | Ok () ->
+          log "undersize-channel fault refused by the SF034 depth gate";
+          exit 0
+      | Error msg ->
+          Printf.printf "FAILURE: %s\n%!" msg;
+          exit 1)
+  | _ -> ());
   let inject =
     match inject with
     | None -> None
@@ -46,11 +61,11 @@ let run seed count max_dims backend ulps atol shrink max_shrink_evals
     | Some other ->
         Printf.eprintf
           "sffuzz: unknown bug %S \
-           (drop-last-stencil|perturb-first-cell|kernel-raise|nan-poison)\n"
+           (drop-last-stencil|perturb-first-cell|kernel-raise|nan-poison|\
+           mis-skew-tile|undersize-channel)\n"
           other;
         exit 2
   in
-  let log = log quiet in
   match replay_dir with
   | Some dir ->
       let files = Sf_fuzz.Corpus.files dir in
@@ -81,16 +96,35 @@ let run seed count max_dims backend ulps atol shrink max_shrink_evals
         }
       in
       let report = Sf_fuzz.Driver.run opts in
-      let n_fail = List.length report.Sf_fuzz.Driver.failures in
+      (* the pipelined-SPMD differential target is rank-structured, which
+         generated specs are not — one certified 2-rank run per campaign *)
+      let pipeline_failure =
+        if not oracles then None
+        else
+          match Sf_fuzz.Oracle.pipeline_agreement () with
+          | Ok () ->
+              log "pipeline vs bulk-sync differential target: bitwise clean";
+              None
+          | Error msg -> Some msg
+      in
+      let n_fail =
+        List.length report.Sf_fuzz.Driver.failures
+        + if pipeline_failure = None then 0 else 1
+      in
       log
         (Printf.sprintf "%d program(s) tested, %d failure(s)"
            report.Sf_fuzz.Driver.tested n_fail);
+      (match pipeline_failure with
+      | Some msg -> Printf.printf "FAILURE (pipeline): %s\n%!" msg
+      | None -> ());
       List.iter
         (fun (f : Sf_fuzz.Driver.failure) ->
           Printf.printf "FAILURE (seed %d): %s\n%!" f.Sf_fuzz.Driver.original.Sf_fuzz.Gen.seed
             f.Sf_fuzz.Driver.detail)
         report.Sf_fuzz.Driver.failures;
-      exit (Sf_fuzz.Driver.report_exit_code report)
+      exit
+        (if pipeline_failure <> None then 1
+         else Sf_fuzz.Driver.report_exit_code report)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed; program $(i,i) uses seed + $(i,i).")
@@ -123,7 +157,7 @@ let oracles_arg =
   Arg.(value & opt bool true & info [ "oracles" ] ~doc:"Run the metamorphic oracles (pool determinism, certification gate, SF011/NaN).")
 
 let inject_arg =
-  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend the harness must catch: drop-last-stencil | perturb-first-cell | kernel-raise | nan-poison | mis-skew-tile.")
+  Arg.(value & opt (some string) None & info [ "inject" ] ~doc:"Add a deliberately buggy backend (or runtime fault) the harness must catch: drop-last-stencil | perturb-first-cell | kernel-raise | nan-poison | mis-skew-tile | undersize-channel.")
 
 let replay_arg =
   Arg.(value & opt (some string) None & info [ "replay-dir" ] ~doc:"Replay every .sfl corpus file under $(docv) instead of generating." ~docv:"DIR")

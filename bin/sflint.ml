@@ -2,11 +2,15 @@
 
    Loads stencil programs (s-expression form, docs/LANGUAGE.md), runs every
    analysis pass over them — per-stencil validation (SF001-SF004), the
-   dataflow passes (SF011 uninitialized read, SF012 dead store), and
-   backend-plan certification (SF021/SF022) — and prints the findings as
-   compiler-style text or as JSON.  Exit status: 0 clean (warnings/notes
-   allowed), 1 when any error-severity diagnostic fired, 2 on usage or
-   parse errors.  docs/LINTING.md catalogues the codes. *)
+   dataflow passes (SF011 uninitialized read, SF012 dead store),
+   backend-plan certification (SF021-SF025) and, on request, the
+   streaming-pipeline certifier (SF030-SF034, --pipeline) — and prints the
+   findings as compiler-style text or as JSON.  Findings replicated across
+   SPMD ranks are collapsed to one diagnostic with a rank-count suffix.
+   Exit status: 0 clean (warnings/notes allowed), 1 when any
+   error-severity diagnostic fired, 2 on usage or parse errors.
+   docs/LINTING.md catalogues the codes; `--explain SFxxx` prints one
+   entry with its fix hint. *)
 
 open Cmdliner
 open Sf_util
@@ -29,6 +33,20 @@ let print_codes () =
         doc)
     Sf_analysis.Diagnostics.catalogue
 
+let print_explain code =
+  let code = String.uppercase_ascii (String.trim code) in
+  match Sf_analysis.Diagnostics.explain code with
+  | Some (sev, doc, hint) ->
+      Printf.printf "%s (%s): %s\n  fix: %s\n" code
+        (Sf_analysis.Diagnostics.severity_to_string sev)
+        doc hint;
+      exit 0
+  | None ->
+      Printf.eprintf
+        "sflint: unknown diagnostic code %S (--codes lists the catalogue)\n"
+        code;
+      exit 2
+
 (* grid extents follow the codegen_dump convention: iteration shape is
    (n+2)^dims, and grids named fine_* (multigrid restriction sources) are
    twice the interior plus ghosts *)
@@ -41,7 +59,8 @@ let shapes_for ~dims ~n =
   in
   (shape, grid_shape)
 
-let lint_file ~n ~params ~inputs ~backends ~config path =
+let lint_file ~n ~params ~inputs ~backends ~config ~pipeline ~pipe_depth
+    ~time_tile ~time_skew path =
   match Snowflake.Program_io.group_of_string (read_file path) with
   | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Ok group ->
@@ -56,13 +75,44 @@ let lint_file ~n ~params ~inputs ~backends ~config path =
             Sf_backends.Schedule_check.certify config ~shape ~backend group)
           backends
       in
-      Ok (Sf_analysis.Diagnostics.sort (static @ certified))
+      (* streaming-pipeline certification (SF030-SF034); a group without
+         rank-qualified grids yields no pipeline findings *)
+      let piped =
+        if not (pipeline || pipe_depth <> None) then []
+        else
+          snd
+            (Sf_analysis.Pipeline_check.analyze ?depth_override:pipe_depth
+               ~budget_bytes:config.Sf_backends.Config.pipe_budget ~shape
+               group)
+      in
+      (* temporal-blocking certification (SF024/SF025) for an explicit
+         --time-tile depth, with --time-skew overriding the computed skew *)
+      let tiled =
+        match time_tile with
+        | None -> []
+        | Some reps -> (
+            match
+              Sf_backends.Timetile.plan ?skew:time_skew config ~shape ~reps
+                group
+            with
+            | Some plan ->
+                Sf_backends.Schedule_check.certify_timetile_plan config ~shape
+                  plan
+            | None ->
+                Sf_backends.Schedule_check.certify_timetile config ~shape
+                  group)
+      in
+      Ok
+        (Sf_analysis.Diagnostics.collapse_ranks
+           (Sf_analysis.Diagnostics.sort (static @ certified @ piped @ tiled)))
 
-let run files n json params inputs backend workers multicolor codes =
+let run files n json params inputs backend workers multicolor codes explain
+    pipeline pipe_depth fusion force_parallel time_tile time_skew =
   if codes then begin
     print_codes ();
     exit 0
   end;
+  Option.iter print_explain explain;
   if files = [] then begin
     prerr_endline "sflint: no program files given (try --codes or --help)";
     exit 2
@@ -85,11 +135,17 @@ let run files n json params inputs backend workers multicolor codes =
       (Sf_backends.Config.with_workers workers Sf_backends.Config.default)
       with
       Sf_backends.Config.multicolor;
+      fusion;
+      force_parallel =
+        (match force_parallel with Some s -> comma_list s | None -> []);
     }
   in
   let results =
     List.map
-      (fun path -> (path, lint_file ~n ~params ~inputs ~backends ~config path))
+      (fun path ->
+        ( path,
+          lint_file ~n ~params ~inputs ~backends ~config ~pipeline ~pipe_depth
+            ~time_tile ~time_skew path ))
       files
   in
   List.iter
@@ -154,11 +210,34 @@ let multicolor_arg =
 let codes_arg =
   Arg.(value & flag & info [ "codes" ] ~doc:"Print the diagnostic-code catalogue and exit.")
 
+let explain_arg =
+  Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"SFxxx" ~doc:"Print one catalogue entry (severity, description, fix hint) and exit; unknown codes exit 2.")
+
+let pipeline_arg =
+  Arg.(value & flag & info [ "pipeline" ] ~doc:"Run the streaming-pipeline certifier (SF030-SF034) on rank-qualified (SPMD) groups.")
+
+let pipe_depth_arg =
+  Arg.(value & opt (some int) None & info [ "pipeline-depth" ] ~docv:"D" ~doc:"Force every channel depth to D before the deadlock proof (implies --pipeline); 0 reproduces the SF031 witness.")
+
+let fusion_arg =
+  Arg.(value & flag & info [ "fusion" ] ~doc:"Certify the fused plan variant (SF023 on illegal fusion).")
+
+let force_parallel_arg =
+  Arg.(value & opt (some string) None & info [ "force-parallel" ] ~docv:"LABELS" ~doc:"Comma-separated stencil labels asserted parallel against the analysis (SF022; certification is the safety net).")
+
+let time_tile_arg =
+  Arg.(value & opt (some int) None & info [ "time-tile" ] ~docv:"K" ~doc:"Certify a temporal-blocking plan of depth K (SF024/SF025).")
+
+let time_skew_arg =
+  Arg.(value & opt (some int) None & info [ "time-skew" ] ~docv:"S" ~doc:"Override the time-tile skew (below the dependence slope reproduces SF024).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sflint" ~doc:"Static analyzer and schedule certifier for stencil programs")
     Term.(
       const run $ files_arg $ n_arg $ json_arg $ params_arg $ inputs_arg
-      $ backend_arg $ workers_arg $ multicolor_arg $ codes_arg)
+      $ backend_arg $ workers_arg $ multicolor_arg $ codes_arg $ explain_arg
+      $ pipeline_arg $ pipe_depth_arg $ fusion_arg $ force_parallel_arg
+      $ time_tile_arg $ time_skew_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -46,6 +46,23 @@ let conflicts ~shape ~before ~after =
       (if waw then [ Waw ] else []);
     ]
 
+let write_slope ~axis (s : Stencil.t) =
+  (s.Stencil.out_map.Affine.scale.(axis), s.Stencil.out_map.Affine.offset.(axis))
+
+let read_slopes ~shape ~axis ~before ~after =
+  let wlats = snd (Footprint.write_footprint ~shape before) in
+  let base = Domain.resolve ~shape after.Stencil.domain in
+  Stencil.reads after
+  |> List.filter_map (fun (grid, m) ->
+         if
+           String.equal grid before.Stencil.output
+           && Footprint.lattice_lists_intersect
+                (List.map (Footprint.affine_image m) base)
+                wlats
+         then Some (m.Affine.scale.(axis), m.Affine.offset.(axis))
+         else None)
+  |> List.sort_uniq compare
+
 let depends ~shape ~before ~after = conflicts ~shape ~before ~after <> []
 
 let independent ~shape a b =

@@ -31,6 +31,21 @@ val conflicts :
 (** Dependences that order [after] after [before]: RAW ([before] writes what
     [after] reads), WAR, WAW.  Sorted, deduplicated. *)
 
+val write_slope : axis:int -> Stencil.t -> int * int
+(** The (scale, offset) of the stencil's output map along [axis] — the
+    slope at which it scatters writes.  Identity maps yield [(1, 0)];
+    an interpolation writing a doubled grid yields [(2, o)]. *)
+
+val read_slopes :
+  shape:Ivec.t -> axis:int -> before:Stencil.t -> after:Stencil.t ->
+  (int * int) list
+(** The (scale, offset) pairs along [axis] of every read in [after] that
+    actually touches cells [before] writes (footprint-intersected, so
+    reads of the same grid that miss the written lattice are excluded).
+    Sorted and deduplicated.  A scale-2 restriction reading a fine grid
+    yields slopes like [(2, -1); (2, 0); (2, 1)]; the channel-sizing
+    recurrence in {!Pipeline_check} consumes the unit-scale case. *)
+
 val depends : shape:Ivec.t -> before:Stencil.t -> after:Stencil.t -> bool
 val independent : shape:Ivec.t -> Stencil.t -> Stencil.t -> bool
 (** No dependence in either direction: the two stencils may run

@@ -31,7 +31,19 @@
       dependence slope, so slab seams would read stale or future values
     - [SF025] error — the group cannot be time-tiled (non-identity write,
       a non-point-parallel stencil, or a non-unit-scale read of a
-      group-written grid) *)
+      group-written grid)
+    - [SF030] note — pipeline certified: the streaming-SPMD schedule and
+      its channel depths ([Pipeline_check.analyze])
+    - [SF031] error — unsatisfiable channel sizing: the
+      capacity-constrained pipeline graph has a zero-slack cycle (witness
+      printed)
+    - [SF032] error — the group is not pipelineable across ranks (impure
+      halo copy, cross-rank reduction, non-neighbour exchange, …)
+    - [SF033] warning — the certified channel depths exceed
+      [Config.pipe_budget]; the bulk-synchronous path is the fallback
+    - [SF034] error — the executed plan's ring depths disagree with the
+      certificate ([Pipeline_check.verify_depths], the executor's tamper
+      gate) *)
 
 open Snowflake
 
@@ -62,6 +74,25 @@ val sort : t list -> t list
 val catalogue : (string * severity * string) list
 (** [(code, default severity, one-line description)] for every code the
     analyzer can emit, in catalogue order ([sflint --codes], docs). *)
+
+val explain : string -> (severity * string * string) option
+(** [(default severity, description, fix hint)] for a catalogue code —
+    the payload behind [sflint --explain SFxxx].  [None] for codes not in
+    the catalogue. *)
+
+val strip_ranks : string -> string
+(** Replace every SPMD rank qualifier (["@1_0"] in ["u@1_0"],
+    ["halo_u@1_0_ax0_lo"], …) with ["@*"].  Strings without qualifiers
+    are returned unchanged. *)
+
+val collapse_ranks : t list -> t list
+(** Deduplicate findings that differ only in rank qualification: SPMD
+    programs replicate every grid per rank, so one defect reports once
+    per rank (["u@0_0"], ["u@1_0"], …).  Diagnostics whose code,
+    rank-stripped location, message and hint all agree collapse to one
+    diagnostic (rank qualifiers rendered as ["@*"]) with a
+    [" [xN ranks]"] suffix on the message.  Unreplicated findings pass
+    through untouched; first-occurrence order is preserved. *)
 
 val pp : Format.formatter -> t -> unit
 (** [severity[code] loc: message] followed by an indented [hint:] line. *)

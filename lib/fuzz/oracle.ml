@@ -114,6 +114,79 @@ let sf011_nan_agreement (spec : Gen.spec) =
     in
     go (Grids.names clean)
 
+(* --------------------------------------------------- pipelined SPMD *)
+
+(* The pipelined executor's promise mirrors pool_determinism's: when the
+   channel certifier passes a plan, running it through the bounded rings
+   must be bit-identical to the bulk-synchronous exchange, at any worker
+   count.  The subject is a fixed 2-rank GSRB decomposition (generated
+   specs are single-rank, so this oracle runs once per campaign, not per
+   spec). *)
+
+let mk_spmd () =
+  let spmd = Sf_distributed.Spmd.create ~rank_grid:[ 2 ] ~local_n:8 in
+  Sf_distributed.Spmd.init_dinv spmd;
+  Sf_distributed.Spmd.fill_interior spmd ~base:"u" (fun x ->
+      sin (3.0 *. x.(0)));
+  Sf_distributed.Spmd.fill_interior spmd ~base:"f" (fun x ->
+      cos (2.0 *. x.(0)));
+  spmd
+
+let pipeline_agreement ?(workers = 4) () =
+  let sweeps = 3 in
+  let bulk = mk_spmd () in
+  for _ = 1 to sweeps do
+    Sf_distributed.Spmd.run_group bulk
+      (Sf_distributed.Spmd.gsrb_smooth_group bulk)
+  done;
+  let oracle_u = Sf_distributed.Spmd.gather bulk ~base:"u" in
+  let rec go = function
+    | [] -> Ok ()
+    | w :: rest -> (
+        let spmd = mk_spmd () in
+        let config = Config.with_workers w Config.default in
+        let pipe =
+          Sf_distributed.Pipeline.create ~config spmd
+            (Sf_distributed.Spmd.gsrb_smooth_group spmd)
+        in
+        Sf_distributed.Pipeline.run ~sweeps pipe;
+        let got = Sf_distributed.Spmd.gather spmd ~base:"u" in
+        match Mesh.first_mismatch ~ulps:0 ~atol:0. oracle_u got with
+        | None -> go rest
+        | Some (p, x, y) ->
+            Error
+              (Printf.sprintf
+                 "certified pipeline diverges from bulk-synchronous Spmd: \
+                  %d worker(s), grid u at %s: bulk %.17g vs pipelined %.17g"
+                 w (Ivec.to_string p) x y))
+  in
+  go [ 1; workers ]
+
+let pipeline_undersize_detected () =
+  let spmd = mk_spmd () in
+  let pipe =
+    Sf_distributed.Pipeline.create spmd
+      (Sf_distributed.Spmd.gsrb_smooth_group spmd)
+  in
+  Sf_distributed.Pipeline.inject_undersize pipe;
+  match Sf_distributed.Pipeline.run pipe with
+  | () ->
+      Error
+        "undersized channel ran to completion: the SF034 depth gate did not \
+         fire"
+  | exception Jit.Certification_failed { backend = "pipeline"; diagnostics; _ }
+    when List.exists
+           (fun (d : Sf_analysis.Diagnostics.t) ->
+             d.Sf_analysis.Diagnostics.code = "SF034")
+           diagnostics ->
+      Ok ()
+  | exception e ->
+      Error
+        (Printf.sprintf
+           "undersized channel raised %s instead of Certification_failed \
+            with SF034"
+           (Printexc.to_string e))
+
 let all spec =
   List.filter_map
     (fun oracle -> match oracle spec with Ok () -> None | Error m -> Some m)

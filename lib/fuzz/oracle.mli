@@ -29,4 +29,18 @@ val sf011_nan_agreement : Gen.spec -> (unit, string) result
     sflint certified an initialization chain that does not exist. *)
 
 val all : Gen.spec -> string list
-(** Every oracle; returns the failure messages (empty = all passed). *)
+(** Every per-spec oracle; returns the failure messages (empty = all
+    passed). *)
+
+val pipeline_agreement : ?workers:int -> unit -> (unit, string) result
+(** The pipelined-SPMD differential target: certify a fixed 2-rank GSRB
+    decomposition, run it through {!Sf_distributed.Pipeline} at 1 and
+    [workers] (default 4) workers, and require the gathered solution to be
+    bit-identical (0-ULP) to the bulk-synchronous [Spmd.run_group] path.
+    Runs once per campaign — generated specs are single-rank. *)
+
+val pipeline_undersize_detected : unit -> (unit, string) result
+(** The [--inject undersize-channel] fault: shrink one certified ring by a
+    slot behind the certificate's back and require the executor's depth
+    re-verification to refuse with [Jit.Certification_failed] carrying an
+    SF034 diagnostic.  An [Error] means the gate let a lying plan run. *)

@@ -99,6 +99,16 @@ let counters_line () =
         c.Trace.tune_db_hits c.Trace.tune_db_misses
   else base
 
+let counters_line () =
+  let c = Trace.counters () in
+  let base = counters_line () in
+  (* only pipelined-Spmd sessions grow the channel segment *)
+  if c.Trace.channel_sends + c.Trace.channel_stalls > 0 then
+    base
+    ^ Printf.sprintf "; pipeline %d plane send(s) / %d stall(s)"
+        c.Trace.channel_sends c.Trace.channel_stalls
+  else base
+
 let print_summary ?machine () =
   print_string (summary_table ?machine ());
   print_newline ();

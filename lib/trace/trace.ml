@@ -62,6 +62,8 @@ type counter =
   | Rank_recoveries
   | Tune_db_hits
   | Tune_db_misses
+  | Channel_sends
+  | Channel_stalls
 
 let cells_c = Atomic.make 0
 let chunks_c = Atomic.make 0
@@ -78,6 +80,8 @@ let skipped_c = Atomic.make 0
 let recoveries_c = Atomic.make 0
 let tune_hits_c = Atomic.make 0
 let tune_misses_c = Atomic.make 0
+let chan_sends_c = Atomic.make 0
+let chan_stalls_c = Atomic.make 0
 
 let cell_of = function
   | Cells_updated -> cells_c
@@ -95,6 +99,8 @@ let cell_of = function
   | Rank_recoveries -> recoveries_c
   | Tune_db_hits -> tune_hits_c
   | Tune_db_misses -> tune_misses_c
+  | Channel_sends -> chan_sends_c
+  | Channel_stalls -> chan_stalls_c
 
 let add c n = if on () then ignore (Atomic.fetch_and_add (cell_of c) n)
 
@@ -114,6 +120,8 @@ type counters = {
   rank_recoveries : int;
   tune_db_hits : int;
   tune_db_misses : int;
+  channel_sends : int;
+  channel_stalls : int;
 }
 
 let counters () =
@@ -133,6 +141,8 @@ let counters () =
     rank_recoveries = Atomic.get recoveries_c;
     tune_db_hits = Atomic.get tune_hits_c;
     tune_db_misses = Atomic.get tune_misses_c;
+    channel_sends = Atomic.get chan_sends_c;
+    channel_stalls = Atomic.get chan_stalls_c;
   }
 
 (* -------------------------------------------------------- roofline join *)
@@ -219,7 +229,7 @@ let clear () =
     [
       cells_c; chunks_c; stolen_c; inline_c; hits_c; misses_c; faults_c;
       retries_c; failovers_c; rollbacks_c; guard_trips_c; skipped_c;
-      recoveries_c; tune_hits_c; tune_misses_c;
+      recoveries_c; tune_hits_c; tune_misses_c; chan_sends_c; chan_stalls_c;
     ]
 
 (* ---------------------------------------------------------- aggregation *)
@@ -324,6 +334,8 @@ let counter_event ~ts =
             ("rank_recoveries", Json.Num (float_of_int c.rank_recoveries));
             ("tune_db_hits", Json.Num (float_of_int c.tune_db_hits));
             ("tune_db_misses", Json.Num (float_of_int c.tune_db_misses));
+            ("channel_sends", Json.Num (float_of_int c.channel_sends));
+            ("channel_stalls", Json.Num (float_of_int c.channel_stalls));
           ] );
     ]
 

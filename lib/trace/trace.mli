@@ -102,6 +102,10 @@ type counter =
   | Rank_recoveries  (** [Spmd] dead-rank reconstructions *)
   | Tune_db_hits  (** autotuner plans served from the persistent DB *)
   | Tune_db_misses  (** autotuner runs that had to measure candidates *)
+  | Channel_sends  (** halo planes pushed into pipeline ring buffers *)
+  | Channel_stalls
+      (** scheduler passes in which a runnable pipeline node waited on
+          ring space or data (back-pressure visibility) *)
 
 val add : counter -> int -> unit
 (** Atomic increment; no-op when tracing is disabled (callers in hot paths
@@ -123,6 +127,8 @@ type counters = {
   rank_recoveries : int;
   tune_db_hits : int;
   tune_db_misses : int;
+  channel_sends : int;
+  channel_stalls : int;
 }
 
 val counters : unit -> counters

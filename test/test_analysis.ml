@@ -779,6 +779,137 @@ let test_validate_param_dedup () =
           (function Validate.Unbound_param _ -> true | _ -> false)
           issues))
 
+(* ------------------------------------------------- scale-2 edge slopes *)
+
+(* Restriction and interpolation couple grids through scale-2 affine maps;
+   the per-axis (scale, offset) pairs Dependence extracts are exactly what
+   downstream passes (time-tiling skew, pipeline channel sizing) consume. *)
+let test_scale2_slopes () =
+  let writer =
+    Stencil.make ~label:"residual_fine" ~output:"fine_res"
+      ~expr:(Expr.const 0.)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  let restrict = Sf_hpgmg.Nd.restriction ~dims:1 in
+  Alcotest.(check (list (pair int int)))
+    "restriction read slopes"
+    [ (2, -1); (2, 0) ]
+    (Dependence.read_slopes ~shape:(iv [ 10 ]) ~axis:0 ~before:writer
+       ~after:restrict);
+  (* a writer of an unrelated grid contributes no slopes *)
+  let other =
+    Stencil.make ~label:"other" ~output:"coarse_u" ~expr:(Expr.const 0.)
+      ~domain:(Domain.interior 1 ~ghost:1)
+      ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "unrelated grid" []
+    (Dependence.read_slopes ~shape:(iv [ 10 ]) ~axis:0 ~before:other
+       ~after:restrict);
+  (* interpolation writes fine_u through scale-2 maps, one per parity *)
+  let interp = Sf_hpgmg.Nd.interpolation ~dims:1 in
+  Alcotest.(check (list (pair int int)))
+    "interpolation write slopes"
+    [ (2, -1); (2, 0) ]
+    (List.sort compare
+       (List.map (Dependence.write_slope ~axis:0) interp));
+  (* each interpolation stencil also reads coarse_u at identity *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (list (pair int int)))
+        "coarse_u read slope"
+        [ (1, 0) ]
+        (Dependence.read_slopes ~shape:(iv [ 10 ]) ~axis:0 ~before:other
+           ~after:s))
+    interp;
+  check_bool "writer slope identity" true
+    (Dependence.write_slope ~axis:0 writer = (1, 0))
+
+(* -------------------------------------------------- pipeline analysis *)
+
+let test_rank_of_grid () =
+  let check_ro name expected =
+    Alcotest.(check (option (pair string (list int))))
+      name expected
+      (Pipeline_check.rank_of_grid name)
+  in
+  check_ro "u@1_0" (Some ("u", [ 1; 0 ]));
+  check_ro "u@2" (Some ("u", [ 2 ]));
+  check_ro "dinv@0_1_2" (Some ("dinv", [ 0; 1; 2 ]));
+  check_ro "u" None;
+  check_ro "u@x" None;
+  check_ro "u@1_x" None;
+  check_ro "@1" None
+
+let test_pipeline_analyze_plain_group () =
+  (* a group without rank qualifiers is simply not a pipeline: no
+     certificate, no diagnostics (SF030..SF034 stay quiet) *)
+  let g =
+    Group.make ~label:"plain"
+      [
+        Stencil.make ~label:"s" ~output:"out"
+          ~expr:(Expr.read "inp" (iv [ 0 ]))
+          ~domain:(Domain.interior 1 ~ghost:0)
+          ();
+      ]
+  in
+  let cert, diags = Pipeline_check.analyze ~shape:(iv [ 10 ]) g in
+  check_bool "no certificate" true (cert = None);
+  check_int "no diagnostics" 0 (List.length diags)
+
+(* ------------------------------------------------- rank dedup, explain *)
+
+let test_collapse_ranks () =
+  let d ?hint stencil msg =
+    Diagnostics.make ~code:"SF012" ~severity:Diagnostics.Warning
+      ~loc:(Srcloc.stencil ~group:"g" stencil)
+      ?hint msg
+  in
+  (* same finding replicated across two ranks collapses to one *)
+  let collapsed =
+    Diagnostics.collapse_ranks
+      [
+        d "halo_u@0_0_ax0_lo" "store to 'u@0_0' is dead";
+        d "halo_u@1_0_ax0_lo" "store to 'u@1_0' is dead";
+        d "bc_v@0_0" "unrelated";
+      ]
+  in
+  (match collapsed with
+  | [ first; second ] ->
+      Alcotest.(check (option string))
+        "stencil rank-starred"
+        (Some "halo_u@*_ax0_lo")
+        first.Diagnostics.loc.Srcloc.stencil;
+      check_bool "rank-count suffix" true
+        (let m = first.Diagnostics.message in
+         String.length m >= 11
+         && String.sub m (String.length m - 11) 11 = " [x2 ranks]");
+      Alcotest.(check (option string))
+        "singleton untouched" (Some "bc_v@0_0")
+        second.Diagnostics.loc.Srcloc.stencil
+  | ds -> Alcotest.failf "expected 2 diagnostics, got %d" (List.length ds));
+  (* distinct messages (beyond rank naming) must NOT collapse *)
+  check_int "distinct messages preserved" 2
+    (List.length
+       (Diagnostics.collapse_ranks
+          [ d "halo_u@0_0" "first defect"; d "halo_u@1_0" "second defect" ]));
+  check_bool "strip_ranks" true
+    (Diagnostics.strip_ranks "halo_u@1_0_ax0_lo" = "halo_u@*_ax0_lo")
+
+let test_explain () =
+  (* every catalogued code explains itself, with a non-empty fix hint *)
+  List.iter
+    (fun (code, sev, doc) ->
+      match Diagnostics.explain code with
+      | Some (sev', doc', hint) ->
+          check_bool (code ^ " severity") true (sev = sev');
+          check_bool (code ^ " doc") true (doc = doc');
+          check_bool (code ^ " hint nonempty") true (String.length hint > 0)
+      | None -> Alcotest.failf "%s missing from explain" code)
+    Diagnostics.catalogue;
+  check_bool "unknown code" true (Diagnostics.explain "SF999" = None)
+
 let () =
   Alcotest.run "sf_analysis"
     [
@@ -836,6 +967,15 @@ let () =
           Alcotest.test_case "render" `Quick test_diagnostics_render;
           Alcotest.test_case "json golden" `Quick
             test_diagnostics_json_golden;
+          Alcotest.test_case "collapse ranks" `Quick test_collapse_ranks;
+          Alcotest.test_case "explain catalogue" `Quick test_explain;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "rank_of_grid" `Quick test_rank_of_grid;
+          Alcotest.test_case "plain group not a pipeline" `Quick
+            test_pipeline_analyze_plain_group;
+          Alcotest.test_case "scale-2 edge slopes" `Quick test_scale2_slopes;
         ] );
       ( "lint",
         [

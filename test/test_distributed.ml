@@ -185,6 +185,123 @@ let test_gather_scatter_roundtrip () =
     (fun p -> d := Float.max !d (Float.abs (Mesh.get back p -. Mesh.get global p)));
   check_bool "roundtrip" true (!d = 0.)
 
+(* ------------------------------------------------- pipelined execution *)
+
+let fresh_spmd ~rank_grid ~local_n =
+  let t = Spmd.create ~rank_grid ~local_n in
+  Spmd.set_beta t beta_fn;
+  Spmd.fill_interior t ~base:"f" f_fn;
+  Spmd.fill_interior t ~base:"u" u_fn;
+  t
+
+let mesh_bitwise_equal a b =
+  let d = ref true in
+  Mesh.iteri a (fun p v -> if not (Float.equal v (Mesh.get b p)) then d := false);
+  !d
+
+let test_pipeline_certificate () =
+  let t = Spmd.create ~rank_grid:[ 2 ] ~local_n:8 in
+  let group = Spmd.gsrb_smooth_group t in
+  let cert, diags = Pipeline.certify t group in
+  (match cert with
+  | None ->
+      Alcotest.failf "2-rank GSRB should certify: %s" (Diagnostics.render diags)
+  | Some c ->
+      check_int "stages" 4 c.Pipeline_check.stages;
+      check_int "ranks" 2 (List.length c.Pipeline_check.ranks);
+      (* two halo faces per exchange, two exchanges *)
+      check_int "channels" 4 (List.length c.Pipeline_check.channels);
+      List.iter
+        (fun (ch : Pipeline_check.channel) ->
+          check_bool "depth positive" true (ch.Pipeline_check.depth >= 1))
+        c.Pipeline_check.channels);
+  check_bool "SF030 note present" true
+    (List.exists (fun d -> d.Diagnostics.code = "SF030") diags)
+
+let test_pipeline_depth0_is_sf031 () =
+  let t = Spmd.create ~rank_grid:[ 2 ] ~local_n:8 in
+  let group = Spmd.gsrb_smooth_group t in
+  let cert, diags = Pipeline.certify ~depth_override:0 t group in
+  check_bool "no certificate at depth 0" true (cert = None);
+  match List.find_opt (fun d -> d.Diagnostics.code = "SF031") diags with
+  | None -> Alcotest.failf "expected SF031: %s" (Diagnostics.render diags)
+  | Some d ->
+      check_bool "witness cycle printed" true
+        (Diagnostics.is_error d
+        &&
+        let msg = d.Diagnostics.message in
+        (* the witness names unrolled (wave, rank, stage) nodes *)
+        String.length msg > 0
+        && Option.is_some (String.index_opt msg '>')
+        &&
+        let has_sub sub =
+          let n = String.length msg and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "zero-slack cycle" && has_sub "wave ")
+
+let pipeline_matches_bulk ~rank_grid ~local_n ~sweeps =
+  let tb = fresh_spmd ~rank_grid ~local_n in
+  for _ = 1 to sweeps do
+    Spmd.run_group tb (Spmd.gsrb_smooth_group tb)
+  done;
+  let bulk = Spmd.gather tb ~base:"u" in
+  List.iter
+    (fun workers ->
+      let tp = fresh_spmd ~rank_grid ~local_n in
+      let config = Config.with_workers workers Config.default in
+      let p = Pipeline.create ~config tp (Spmd.gsrb_smooth_group tp) in
+      Pipeline.run ~sweeps p;
+      let piped = Spmd.gather tp ~base:"u" in
+      check_bool
+        (Printf.sprintf "pipeline = bulk at %d worker(s)" workers)
+        true
+        (mesh_bitwise_equal bulk piped))
+    [ 1; 4 ]
+
+let test_pipeline_matches_bulk_1d () =
+  pipeline_matches_bulk ~rank_grid:[ 2 ] ~local_n:8 ~sweeps:3
+
+let test_pipeline_matches_bulk_2d_noncubic () =
+  pipeline_matches_bulk ~rank_grid:[ 2; 1 ] ~local_n:6 ~sweeps:2
+
+let test_pipeline_sf034_gate () =
+  let t = fresh_spmd ~rank_grid:[ 2 ] ~local_n:8 in
+  let p = Pipeline.create t (Spmd.gsrb_smooth_group t) in
+  Pipeline.inject_undersize p;
+  match Pipeline.run ~sweeps:1 p with
+  | () -> Alcotest.fail "undersized ring executed"
+  | exception Jit.Certification_failed { backend; diagnostics; _ } ->
+      Alcotest.(check string) "backend" "pipeline" backend;
+      check_bool "SF034 reported" true
+        (List.exists (fun d -> d.Diagnostics.code = "SF034") diagnostics)
+
+let test_pipeline_refuses_uncertified () =
+  (* a cross-rank read buried inside arithmetic is not a streamable halo
+     copy: certification fails with SF032 and create must refuse *)
+  let dom = Domain.of_rect (Domain.rect ~lo:[ 1 ] ~hi:[ -1 ] ()) in
+  let bad =
+    Group.make ~label:"bad_pipe"
+      [
+        Stencil.make ~label:"mix@0" ~output:"a@0"
+          ~expr:(Expr.neg (Expr.read "a@1" [| 8 |]))
+          ~domain:dom ();
+        Stencil.make ~label:"write@1" ~output:"a@1"
+          ~expr:(Expr.read "a@1" [| 0 |])
+          ~domain:dom ();
+      ]
+  in
+  let t = Spmd.create ~rank_grid:[ 2 ] ~local_n:8 in
+  Grids.add t.Spmd.grids "a@0" (Mesh.create t.Spmd.shape);
+  Grids.add t.Spmd.grids "a@1" (Mesh.create t.Spmd.shape);
+  match Pipeline.create t bad with
+  | _ -> Alcotest.fail "uncertified plan accepted"
+  | exception Jit.Certification_failed { backend; diagnostics; _ } ->
+      Alcotest.(check string) "backend" "pipeline" backend;
+      check_bool "SF032 reported" true
+        (List.exists (fun d -> d.Diagnostics.code = "SF032") diagnostics)
+
 let test_create_validation () =
   (try
      ignore (Spmd.create ~rank_grid:[ 2; 0 ] ~local_n:4);
@@ -216,5 +333,20 @@ let () =
             test_residual_matches_single_domain_3d_noncubic;
           Alcotest.test_case "relaxation converges" `Quick
             test_distributed_relaxation_converges;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "certificate shape" `Quick
+            test_pipeline_certificate;
+          Alcotest.test_case "depth 0 is SF031 with witness" `Quick
+            test_pipeline_depth0_is_sf031;
+          Alcotest.test_case "1-d pipeline = bulk (1 and 4 workers)" `Quick
+            test_pipeline_matches_bulk_1d;
+          Alcotest.test_case "2x1 non-cubic pipeline = bulk" `Quick
+            test_pipeline_matches_bulk_2d_noncubic;
+          Alcotest.test_case "undersized ring trips SF034" `Quick
+            test_pipeline_sf034_gate;
+          Alcotest.test_case "uncertified plan refused" `Quick
+            test_pipeline_refuses_uncertified;
         ] );
     ]

@@ -163,6 +163,16 @@ let test_certify_gate_never_fires () =
     | Error e -> Alcotest.failf "seed %d: %s\n%s" seed e (Gen.describe spec)
   done
 
+let test_pipeline_agreement () =
+  match Oracle.pipeline_agreement ~workers:4 () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_pipeline_undersize_detected () =
+  match Oracle.pipeline_undersize_detected () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -197,5 +207,9 @@ let () =
           Alcotest.test_case "all clean" `Quick test_oracles_clean;
           Alcotest.test_case "certify gate never fires" `Quick
             test_certify_gate_never_fires;
+          Alcotest.test_case "pipeline matches bulk-sync" `Quick
+            test_pipeline_agreement;
+          Alcotest.test_case "undersize channel refused" `Quick
+            test_pipeline_undersize_detected;
         ] );
     ]
