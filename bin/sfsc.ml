@@ -1,0 +1,194 @@
+(* sfsc: command-line client for sfserved.
+
+   solve    — submit corpus-format .sfl files and wait for the results
+   stats    — print the server's STATS JSON document
+   shutdown — ask the server to stop
+   soak     — a small load generator: N requests from T tenants drawn
+              round-robin from a corpus directory, then the latency
+              percentiles from STATS (the @serve-smoke soak). *)
+
+open Cmdliner
+module Client = Sf_serve.Client
+module Protocol = Sf_serve.Protocol
+module Json = Sf_trace.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("sfsc: " ^ m); exit 1) fmt
+
+let connect ~tenant path =
+  match Client.connect_unix ~tenant path with
+  | Ok c -> c
+  | Error m -> die "%s" m
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"The sfserved Unix-domain socket.")
+
+let tenant_arg =
+  Arg.(
+    value & opt string "sfsc"
+    & info [ "tenant" ] ~doc:"Tenant name to announce in HELLO.")
+
+let backend_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "backend" ] ~doc:"Backend override (empty = server default).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~doc:"Worker override (0 = server default).")
+
+let reps_arg =
+  Arg.(value & opt int 1 & info [ "reps" ] ~doc:"Applications of the group.")
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:".sfl files.")
+
+(* ------------------------------------------------------------------ solve *)
+
+let run_solve socket tenant backend workers reps files =
+  let c = connect ~tenant socket in
+  let failed = ref 0 in
+  List.iter
+    (fun file ->
+      let submit =
+        { Protocol.program = read_file file; backend; workers; reps; fault = "" }
+      in
+      match Client.solve c submit with
+      | Ok (Client.Solved { elapsed_us; grids }) ->
+          Printf.printf "%s: ok, %d grid(s), %.0f us\n" file
+            (List.length grids) elapsed_us
+      | Ok (Client.Failed { code; message }) ->
+          incr failed;
+          Printf.printf "%s: ERROR %s: %s\n" file code message
+      | Error m -> die "%s: transport: %s" file m)
+    files;
+  Client.close c;
+  if !failed > 0 then exit 1
+
+(* ------------------------------------------------------------------ stats *)
+
+let run_stats socket tenant =
+  let c = connect ~tenant socket in
+  (match Client.stats c with
+  | Ok json -> print_endline json
+  | Error m -> die "stats: %s" m);
+  Client.close c
+
+let run_shutdown socket tenant =
+  let c = connect ~tenant socket in
+  (match Client.shutdown c with
+  | Ok () -> ()
+  | Error m -> die "shutdown: %s" m);
+  Client.close c
+
+(* ------------------------------------------------------------------- soak *)
+
+let percentile_of_stats json name =
+  match Json.of_string json with
+  | Error m -> die "soak: STATS did not parse: %s" m
+  | Ok doc -> (
+      match Json.member "series" doc with
+      | Some (Json.Arr series) -> (
+          let found =
+            List.find_opt
+              (fun s ->
+                match Json.member "name" s with
+                | Some (Json.Str n) -> n = name
+                | _ -> false)
+              series
+          in
+          match found with
+          | Some s ->
+              let f key =
+                match Json.member key s with
+                | Some (Json.Num v) -> v
+                | _ -> nan
+              in
+              (f "p50_us", f "p99_us", f "n")
+          | None -> (nan, nan, 0.))
+      | _ -> die "soak: STATS has no series array")
+
+let run_soak socket count tenants dir backend workers reps =
+  let files = Sf_fuzz.Corpus.files dir in
+  if files = [] then die "soak: no .sfl files under %s" dir;
+  let programs = Array.of_list (List.map read_file files) in
+  let clients =
+    Array.init (max 1 tenants) (fun i ->
+        connect ~tenant:(Printf.sprintf "soak-%d" i) socket)
+  in
+  let failures = ref 0 in
+  for i = 0 to count - 1 do
+    let c = clients.(i mod Array.length clients) in
+    let program = programs.(i mod Array.length programs) in
+    match
+      Client.solve c { Protocol.program; backend; workers; reps; fault = "" }
+    with
+    | Ok (Client.Solved _) -> ()
+    | Ok (Client.Failed { code; message }) ->
+        incr failures;
+        Printf.eprintf "soak: request %d failed: %s: %s\n" i code message
+    | Error m -> die "soak: transport: %s" m
+  done;
+  (match Client.stats clients.(0) with
+  | Ok json ->
+      let p50, p99, n = percentile_of_stats json "serve.request_us" in
+      Printf.printf
+        "soak: %d requests, %d tenants, %d failures; request latency n=%.0f \
+         p50=%.0f us p99=%.0f us\n"
+        count (Array.length clients) !failures n p50 p99
+  | Error m -> die "soak: stats: %s" m);
+  Array.iter Client.close clients;
+  if !failures > 0 then exit 1
+
+let count_arg =
+  Arg.(value & opt int 200 & info [ "count" ] ~doc:"Requests to send.")
+
+let tenants_arg =
+  Arg.(value & opt int 4 & info [ "tenants" ] ~doc:"Concurrent tenant names.")
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory of .sfl programs.")
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Submit .sfl programs and wait for results")
+    Term.(
+      const run_solve $ socket_arg $ tenant_arg $ backend_arg $ workers_arg
+      $ reps_arg $ files_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the server STATS document")
+    Term.(const run_stats $ socket_arg $ tenant_arg)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop the server")
+    Term.(const run_shutdown $ socket_arg $ tenant_arg)
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak" ~doc:"Replay a corpus as load; print latency percentiles")
+    Term.(
+      const run_soak $ socket_arg $ count_arg $ tenants_arg $ dir_arg
+      $ backend_arg $ workers_arg $ reps_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "sfsc" ~doc:"Client for the sfserved solve server")
+    [ solve_cmd; stats_cmd; shutdown_cmd; soak_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -191,16 +191,30 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Atomic publication: write a *unique* temp file in the DB's directory,
+   then rename over the DB.  The temp name must be unique per writer — a
+   fixed [path ^ ".tmp"] lets two processes sharing one DB (many tenants,
+   one tuning cache) interleave writes into the same temp file and rename
+   torn bytes into place, or race the rename itself ([Sys_error] when the
+   loser's temp vanished).  [Filename.temp_file] creates the file
+   exclusively, so concurrent writers each publish a complete document and
+   the DB is last-writer-wins but never corrupt. *)
 let save_entries path entries =
   mkdir_p (Filename.dirname path);
   let doc =
     Json.Obj [ ("version", Json.Num 1.); ("entries", Json.Arr entries) ]
   in
-  let tmp = path ^ ".tmp" in
-  Out_channel.with_open_text tmp (fun oc ->
-      Out_channel.output_string oc (Json.to_string doc);
-      Out_channel.output_string oc "\n");
-  Sys.rename tmp path
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc (Json.to_string doc);
+          Out_channel.output_string oc "\n");
+      Sys.rename tmp path)
 
 let db_lookup ~path k =
   List.find_map
@@ -328,3 +342,28 @@ let tune ?db ?(top = 3) ?(persist = true) ~config ~backend ~shape ~reps
         measured_s = Some measured_s;
         source = Measured;
       }
+
+(* ------------------------------------------- direct DB access (served) *)
+
+let db_is_wellformed ~db =
+  (not (Sys.file_exists db))
+  ||
+  match
+    In_channel.with_open_text db In_channel.input_all |> Json.of_string
+  with
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "entries" fields with
+      | Some (Json.Arr _) -> true
+      | _ -> false)
+  | _ -> false
+
+let db_entry_count ~db = List.length (load_entries db)
+
+let db_persist ~db ~config ~backend ~shape ~reps ~plan ?(predicted_s = 0.)
+    ?(measured_s = 0.) group =
+  let k = key ~config ~backend:(Jit.backend_name backend) ~shape ~reps group in
+  db_store ~path:db k plan ~predicted_s ~measured_s
+
+let db_replay ~db ~config ~backend ~shape ~reps group =
+  db_lookup ~path:db
+    (key ~config ~backend:(Jit.backend_name backend) ~shape ~reps group)

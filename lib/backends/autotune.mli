@@ -77,3 +77,44 @@ val tune :
     (seconds); it is called only for the [top] (default 3) analytically
     best candidates, and only on a DB miss.  [persist] (default [true])
     writes the winner back to the DB. *)
+
+(** {2 Direct DB access}
+
+    The write path many tenants share: every publication is an exclusive
+    unique temp file in the DB's directory followed by an atomic rename,
+    so concurrent writers (processes or domains) interleave to
+    last-writer-wins — entries may be superseded, the document is never
+    torn.  Exposed for the serving layer (one tuning DB across tenants)
+    and for the concurrency property tests that pin that guarantee. *)
+
+val db_is_wellformed : db:string -> bool
+(** The DB file is absent, or parses as a version-1 document with an
+    [entries] array — the invariant concurrent writers must preserve. *)
+
+val db_entry_count : db:string -> int
+(** Parsed entries ([0] for a missing — or corrupt — file; use
+    {!db_is_wellformed} to tell the two apart). *)
+
+val db_persist :
+  db:string ->
+  config:Config.t ->
+  backend:Jit.backend ->
+  shape:Ivec.t ->
+  reps:int ->
+  plan:plan ->
+  ?predicted_s:float ->
+  ?measured_s:float ->
+  Group.t ->
+  unit
+(** Store [plan] under the same key {!tune} would use (read-modify-write
+    of the whole document, atomically renamed into place). *)
+
+val db_replay :
+  db:string ->
+  config:Config.t ->
+  backend:Jit.backend ->
+  shape:Ivec.t ->
+  reps:int ->
+  Group.t ->
+  plan option
+(** The stored plan for that key, if any. *)

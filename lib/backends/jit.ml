@@ -341,6 +341,24 @@ let register_backend ~name compiler =
       if Hashtbl.mem registry name then Hashtbl.reset cache;
       Hashtbl.replace registry name compiler)
 
+(* The structural cache identity, exported so a serving layer can coalesce
+   concurrent compiles of the same kernel *before* they race in [compile]
+   (two domains racing on one key both pay the lowering; a server funnels
+   same-key requests through one compile instead).  Mirrors the key
+   construction of [compile] / [compile_time_tiled] exactly: same group
+   hash, shape, backend (the time-tiled pseudo-backend when [reps > 1])
+   and full config. *)
+let cache_key_hex ?(config = Config.default) ?(reps = 1) backend ~shape group
+    =
+  let backend, config =
+    if reps > 1 then
+      ( Custom ("timetile:" ^ backend_name backend),
+        { config with Config.time_tile = reps } )
+    else (backend, config)
+  in
+  Printf.sprintf "%x-%x" (Group.hash group)
+    (Hashtbl.hash (backend_name backend, Ivec.to_list shape, config))
+
 let cache_stats () = (Atomic.get hits, Atomic.get misses)
 
 let clear_cache () =

@@ -85,6 +85,14 @@ val compile_stencil :
   ?config:Config.t -> backend -> shape:Ivec.t -> Stencil.t -> Kernel.t
 (** Wraps the stencil in a singleton group. *)
 
+val cache_key_hex : ?config:Config.t -> ?reps:int -> backend ->
+  shape:Sf_util.Ivec.t -> Group.t -> string
+(** The structural cache identity {!compile} (or, with [reps > 1],
+    {!compile_time_tiled}) would use, as a stable hex token.  Equal tokens
+    mean the two compiles share one cache entry — what a serving layer
+    needs to coalesce concurrent identical compiles into a single lowering
+    instead of letting them race inside {!compile}. *)
+
 val cache_stats : unit -> int * int
 (** (hits, misses) since start or last {!clear_cache}. *)
 

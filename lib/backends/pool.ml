@@ -210,17 +210,31 @@ let submit ~helper_cap ~chunks fn =
   Mutex.unlock lock;
   match Atomic.get job.failed with Some e -> raise e | None -> ()
 
+(* [shutdown] may run ON a worker domain: [at_exit] handlers execute on
+   whichever domain called [exit], and user code inside a pool chunk (a
+   fault handler, a test harness aborting a range) is entitled to exit.
+   Joining the full helper list from a helper self-joins — [Domain.join]
+   on the current domain never returns — which surfaced as a rare hang at
+   workers=4 (the exiting chunk must happen to be a *stolen* one).  The
+   calling domain is therefore excluded from the join set: it stays in
+   [helpers] so a later shutdown from another domain still reaps it, and
+   the flag/broadcast handshake below is unchanged.  Joins are also
+   exception-proof — a worker death must not strand [shutting_down],
+   which would pin the pool inline forever. *)
 let shutdown () =
+  let self = Domain.self () in
   Mutex.lock lock;
-  let ds = !helpers in
-  helpers := [];
+  let ds, kept =
+    List.partition (fun d -> Domain.get_id d <> self) !helpers
+  in
+  helpers := kept;
   if ds <> [] then begin
     shutting_down := true;
     Condition.broadcast work_available
   end;
   Mutex.unlock lock;
   if ds <> [] then begin
-    List.iter Domain.join ds;
+    List.iter (fun d -> try Domain.join d with _ -> ()) ds;
     Mutex.lock lock;
     (* reusable: the next parallel batch respawns lazily *)
     shutting_down := false;

@@ -70,7 +70,11 @@ val parallel_for : ?grain:int -> t -> int -> (int -> unit) -> unit
 val shutdown : unit -> unit
 (** Park-then-join every worker domain.  Idempotent; registered [at_exit].
     The pool remains usable afterwards (workers respawn lazily on the next
-    parallel batch). *)
+    parallel batch).  Safe to reach from {e any} domain, including a worker
+    itself — e.g. the [at_exit] invocation after user code called [exit]
+    from inside a pool chunk: the calling domain is never joined (it stays
+    reapable by a later shutdown from another domain), so process exit
+    cannot deadlock on a self-join. *)
 
 (** {2 Instrumentation}
 

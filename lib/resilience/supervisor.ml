@@ -60,6 +60,42 @@ let note_failover ~name ~from ~to_ e =
       ("failover:" ^ name)
   end
 
+(* ------------------------------------------ per-request failure boundary *)
+
+type verdict = { code : string; message : string; fatal : bool }
+
+let classifiers : (exn -> verdict option) list ref = ref []
+let register_classifier f = classifiers := f :: !classifiers
+
+let verdict_of_exn e =
+  let rec first = function
+    | [] -> None
+    | f :: rest -> ( match f e with Some v -> Some v | None -> first rest)
+  in
+  match first !classifiers with
+  | Some v -> v
+  | None -> (
+      match e with
+      | Out_of_memory | Stack_overflow | Assert_failure _ ->
+          { code = "fatal"; message = Printexc.to_string e; fatal = true }
+      | Invalid_argument m | Failure m ->
+          { code = "internal"; message = m; fatal = false }
+      | e ->
+          { code = "internal"; message = Printexc.to_string e; fatal = false })
+
+let protect ~label f =
+  match f () with
+  | v -> Ok v
+  | exception e ->
+      let v = verdict_of_exn e in
+      if v.fatal then raise e;
+      if Trace.on () then
+        marker
+          ~args:
+            [ ("code", Trace.Str v.code); ("error", Trace.Str v.message) ]
+          ("fault-boundary:" ^ label);
+      Error v
+
 let run ?(policy = default_policy) ~name attempts =
   if attempts = [] then invalid_arg "Supervisor.run: empty attempt chain";
   let rec attempt = function

@@ -37,3 +37,29 @@ val retries_total : unit -> int
 
 val failovers_total : unit -> int
 val reset_counts : unit -> unit
+
+(** {2 Per-request failure boundary}
+
+    A long-lived host (the solve server) runs each request under
+    {!protect}: any non-fatal exception becomes a structured {!verdict}
+    the host can report to that one client, instead of a raised exception
+    that would take the whole process down.  Hosts teach the boundary
+    their domain-specific exceptions with {!register_classifier}. *)
+
+type verdict = {
+  code : string;  (** stable machine-readable class, e.g. ["fault"] *)
+  message : string;
+  fatal : bool;  (** must not be absorbed — the process is suspect *)
+}
+
+val register_classifier : (exn -> verdict option) -> unit
+(** Classifiers are consulted newest-first before the built-in fallback
+    ([Out_of_memory]/[Stack_overflow]/[Assert_failure] → fatal,
+    anything else → ["internal"]). *)
+
+val verdict_of_exn : exn -> verdict
+
+val protect : label:string -> (unit -> 'a) -> ('a, verdict) result
+(** Runs [f], turning a non-fatal exception into [Error verdict] (and,
+    with tracing on, a ["fault-boundary:<label>"] marker carrying the
+    code).  Fatal verdicts re-raise. *)

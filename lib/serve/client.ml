@@ -1,0 +1,90 @@
+module P = Protocol
+
+type t = {
+  in_fd : Unix.file_descr;
+  out_fd : Unix.file_descr;
+  granted : int;
+  mutable closed : bool;
+  owns_socket : bool;
+}
+
+let caps c = c.granted
+
+let of_fds ?(caps = P.cap_all) ~tenant in_fd out_fd =
+  P.write_request out_fd (P.Hello { version = P.version; tenant; caps });
+  match P.read_reply in_fd with
+  | Ok (Some (P.Welcome { caps = granted; _ })) ->
+      Ok { in_fd; out_fd; granted; closed = false; owns_socket = false }
+  | Ok (Some (P.Rejected { message; _ })) -> Error ("handshake refused: " ^ message)
+  | Ok (Some _) -> Error "handshake: unexpected reply"
+  | Ok None -> Error "handshake: server closed the connection"
+  | Error m -> Error ("handshake: " ^ m)
+
+let connect_unix ?caps ~tenant path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> (
+      match of_fds ?caps ~tenant fd fd with
+      | Ok c -> Ok { c with owns_socket = true }
+      | Error _ as e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          e)
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.in_fd with Unix.Unix_error _ -> ());
+    if c.out_fd <> c.in_fd then
+      try Unix.close c.out_fd with Unix.Unix_error _ -> ()
+  end
+
+type outcome =
+  | Solved of { elapsed_us : float; grids : P.grid list }
+  | Failed of { code : string; message : string }
+
+let roundtrip c req =
+  P.write_request c.out_fd req;
+  match P.read_reply c.in_fd with
+  | Ok (Some r) -> Ok r
+  | Ok None -> Error "server closed the connection"
+  | Error m -> Error m
+
+let submit c s = roundtrip c (P.Submit s)
+let poll c ticket = roundtrip c (P.Poll { ticket })
+
+let rec wait ?(poll_interval_s = 0.002) c ticket =
+  match roundtrip c (P.Poll { ticket }) with
+  | Error _ as e -> e
+  | Ok (P.Pending _) ->
+      Unix.sleepf poll_interval_s;
+      wait ~poll_interval_s c ticket
+  | Ok (P.Result { elapsed_us; grids; _ }) -> Ok (Solved { elapsed_us; grids })
+  | Ok (P.Rejected { code; message; _ }) -> Ok (Failed { code; message })
+  | Ok _ -> Error "poll: unexpected reply"
+
+let rec solve ?(poll_interval_s = 0.002) c s =
+  match submit c s with
+  | Error _ as e -> e
+  | Ok (P.Accepted { ticket }) -> wait ~poll_interval_s c ticket
+  | Ok (P.Busy _) ->
+      Unix.sleepf poll_interval_s;
+      solve ~poll_interval_s c s
+  | Ok (P.Rejected { code; message; _ }) -> Ok (Failed { code; message })
+  | Ok _ -> Error "submit: unexpected reply"
+
+let stats c =
+  match roundtrip c P.Stats with
+  | Ok (P.Stats_reply { json }) -> Ok json
+  | Ok (P.Rejected { message; _ }) -> Error message
+  | Ok _ -> Error "stats: unexpected reply"
+  | Error _ as e -> e
+
+let shutdown c =
+  match roundtrip c P.Shutdown with
+  | Ok P.Bye -> Ok ()
+  | Ok (P.Rejected { message; _ }) -> Error message
+  | Ok _ -> Error "shutdown: unexpected reply"
+  | Error _ as e -> e

@@ -1,0 +1,54 @@
+(** A blocking sfserved client: handshake, submit/poll, stats, shutdown.
+
+    Thin sugar over [Protocol] for the tests, the replay harness and
+    [sfsc].  One client owns one connection; it is not thread-safe (use
+    one client per thread — sessions are shared server-side by tenant
+    name, so that still exercises multi-connection tenancy). *)
+
+type t
+
+val caps : t -> int
+(** The capability mask the server granted in WELCOME. *)
+
+val of_fds :
+  ?caps:int ->
+  tenant:string ->
+  Unix.file_descr ->
+  Unix.file_descr ->
+  (t, string) result
+(** Handshake over an (input, output) pair — input carries the server's
+    replies.  [caps] (default [Protocol.cap_all]) is the requested set. *)
+
+val connect_unix :
+  ?caps:int -> tenant:string -> string -> (t, string) result
+(** Connect to a Unix-domain socket path and handshake. *)
+
+val close : t -> unit
+
+type outcome =
+  | Solved of { elapsed_us : float; grids : Protocol.grid list }
+  | Failed of { code : string; message : string }
+
+val submit : t -> Protocol.submit -> (Protocol.reply, string) result
+(** One SUBMIT round trip; the reply is [Accepted], [Busy] or
+    [Rejected].  [Error] means the transport broke. *)
+
+val poll : t -> int -> (Protocol.reply, string) result
+(** One POLL round trip ([Pending], [Result] or [Rejected]). *)
+
+val wait : ?poll_interval_s:float -> t -> int -> (outcome, string) result
+(** Poll a ticket (default every 2ms) until it resolves. *)
+
+val solve :
+  ?poll_interval_s:float ->
+  t ->
+  Protocol.submit ->
+  (outcome, string) result
+(** {!submit} then {!wait}.  A BUSY reply retries the submit after the
+    poll interval; admission rejections come back as [Failed]. *)
+
+val stats : t -> (string, string) result
+(** The STATS JSON document. *)
+
+val shutdown : t -> (unit, string) result
+(** SHUTDOWN and wait for BYE. *)

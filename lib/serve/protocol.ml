@@ -1,0 +1,349 @@
+(* Wire protocol: u32-BE length prefix, tag byte, binary fields.  The
+   encoders build into Buffer; the decoders walk a cursor over the frame
+   and fail with a positioned message instead of raising, so a malformed
+   frame from a hostile client is an ERROR reply, never an exception
+   escaping the connection thread. *)
+
+let version = 1
+let max_frame = 64 * 1024 * 1024
+
+let cap_submit = 1
+let cap_poll = 2
+let cap_stats = 4
+let cap_coalesce = 8
+let cap_faults = 16
+let cap_shutdown = 32
+
+let cap_all =
+  cap_submit lor cap_poll lor cap_stats lor cap_coalesce lor cap_faults
+  lor cap_shutdown
+
+let cap_names mask =
+  List.filter_map
+    (fun (bit, name) -> if mask land bit <> 0 then Some name else None)
+    [
+      (cap_submit, "submit");
+      (cap_poll, "poll");
+      (cap_stats, "stats");
+      (cap_coalesce, "coalesce");
+      (cap_faults, "faults");
+      (cap_shutdown, "shutdown");
+    ]
+
+let err_proto = "proto"
+let err_parse = "parse"
+let err_quota_inflight = "quota-inflight"
+let err_quota_cells = "quota-cells"
+let err_quota_budget = "quota-budget"
+let err_too_large = "too-large"
+let err_certification = "certification"
+let err_fault = "fault"
+let err_guard = "guard"
+let err_internal = "internal"
+
+type submit = {
+  program : string;
+  backend : string;
+  workers : int;
+  reps : int;
+  fault : string;
+}
+
+type request =
+  | Hello of { version : int; tenant : string; caps : int }
+  | Submit of submit
+  | Poll of { ticket : int }
+  | Stats
+  | Shutdown
+
+type grid = { gname : string; gshape : int list; gdata : float array }
+
+type reply =
+  | Welcome of { version : int; caps : int; server : string }
+  | Accepted of { ticket : int }
+  | Busy of { queue_depth : int }
+  | Rejected of { ticket : int; code : string; message : string }
+  | Pending of { ticket : int; running : bool }
+  | Result of { ticket : int; elapsed_us : float; grids : grid list }
+  | Stats_reply of { json : string }
+  | Bye
+
+(* ------------------------------------------------------------ encoding *)
+
+let tag_hello = 0x01
+let tag_submit = 0x02
+let tag_poll = 0x03
+let tag_stats = 0x04
+let tag_shutdown = 0x05
+let tag_welcome = 0x81
+let tag_accepted = 0x82
+let tag_busy = 0x83
+let tag_rejected = 0x84
+let tag_pending = 0x85
+let tag_result = 0x86
+let tag_stats_reply = 0x87
+let tag_bye = 0x88
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFF_FFFF then invalid_arg "protocol: u32 out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_u64 b v = Buffer.add_int64_be b v
+let put_f64 b v = put_u64 b (Int64.bits_of_float v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let frame tag fill =
+  let b = Buffer.create 64 in
+  put_u8 b tag;
+  fill b;
+  let payload = Buffer.contents b in
+  let out = Buffer.create (String.length payload + 4) in
+  put_u32 out (String.length payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let encode_request = function
+  | Hello { version; tenant; caps } ->
+      frame tag_hello (fun b ->
+          put_u32 b version;
+          put_str b tenant;
+          put_u32 b caps)
+  | Submit { program; backend; workers; reps; fault } ->
+      frame tag_submit (fun b ->
+          put_str b program;
+          put_str b backend;
+          put_u32 b workers;
+          put_u32 b reps;
+          put_str b fault)
+  | Poll { ticket } -> frame tag_poll (fun b -> put_u32 b ticket)
+  | Stats -> frame tag_stats (fun _ -> ())
+  | Shutdown -> frame tag_shutdown (fun _ -> ())
+
+let encode_reply = function
+  | Welcome { version; caps; server } ->
+      frame tag_welcome (fun b ->
+          put_u32 b version;
+          put_u32 b caps;
+          put_str b server)
+  | Accepted { ticket } -> frame tag_accepted (fun b -> put_u32 b ticket)
+  | Busy { queue_depth } -> frame tag_busy (fun b -> put_u32 b queue_depth)
+  | Rejected { ticket; code; message } ->
+      frame tag_rejected (fun b ->
+          put_u32 b ticket;
+          put_str b code;
+          put_str b message)
+  | Pending { ticket; running } ->
+      frame tag_pending (fun b ->
+          put_u32 b ticket;
+          put_u8 b (if running then 1 else 0))
+  | Result { ticket; elapsed_us; grids } ->
+      frame tag_result (fun b ->
+          put_u32 b ticket;
+          put_f64 b elapsed_us;
+          put_u32 b (List.length grids);
+          List.iter
+            (fun g ->
+              put_str b g.gname;
+              put_u32 b (List.length g.gshape);
+              List.iter (put_u32 b) g.gshape;
+              put_u32 b (Array.length g.gdata);
+              Array.iter (put_f64 b) g.gdata)
+            grids)
+  | Stats_reply { json } -> frame tag_stats_reply (fun b -> put_str b json)
+  | Bye -> frame tag_bye (fun _ -> ())
+
+(* ------------------------------------------------------------ decoding *)
+
+exception Bad of string
+
+type cursor = { buf : string; mutable pos : int; stop : int }
+
+let need c n what =
+  if c.pos + n > c.stop then
+    raise (Bad (Printf.sprintf "truncated %s at byte %d" what c.pos))
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c what =
+  need c 4 what;
+  let v = Int32.to_int (String.get_int32_be c.buf c.pos) land 0xFFFF_FFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let get_u64 c what =
+  need c 8 what;
+  let v = String.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_f64 c what = Int64.float_of_bits (get_u64 c what)
+
+let get_str c what =
+  let n = get_u32 c what in
+  need c n what;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let open_frame kind s =
+  if String.length s < 5 then raise (Bad (kind ^ ": frame shorter than header"));
+  let len = Int32.to_int (String.get_int32_be s 0) land 0xFFFF_FFFF in
+  if len > max_frame then
+    raise (Bad (Printf.sprintf "%s: frame of %d bytes exceeds max" kind len));
+  if String.length s <> 4 + len then
+    raise
+      (Bad
+         (Printf.sprintf "%s: length prefix %d but %d payload bytes" kind len
+            (String.length s - 4)));
+  let c = { buf = s; pos = 4; stop = String.length s } in
+  let tag = get_u8 c "tag" in
+  (tag, c)
+
+let finish c v =
+  if c.pos <> c.stop then
+    raise (Bad (Printf.sprintf "%d trailing bytes after message" (c.stop - c.pos)));
+  v
+
+let decode_request s =
+  match
+    let tag, c = open_frame "request" s in
+    if tag = tag_hello then
+      let version = get_u32 c "version" in
+      let tenant = get_str c "tenant" in
+      let caps = get_u32 c "caps" in
+      finish c (Hello { version; tenant; caps })
+    else if tag = tag_submit then begin
+      let program = get_str c "program" in
+      let backend = get_str c "backend" in
+      let workers = get_u32 c "workers" in
+      let reps = get_u32 c "reps" in
+      let fault = get_str c "fault" in
+      finish c (Submit { program; backend; workers; reps; fault })
+    end
+    else if tag = tag_poll then finish c (Poll { ticket = get_u32 c "ticket" })
+    else if tag = tag_stats then finish c Stats
+    else if tag = tag_shutdown then finish c Shutdown
+    else raise (Bad (Printf.sprintf "unknown request tag 0x%02x" tag))
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+let decode_reply s =
+  match
+    let tag, c = open_frame "reply" s in
+    if tag = tag_welcome then
+      let version = get_u32 c "version" in
+      let caps = get_u32 c "caps" in
+      let server = get_str c "server" in
+      finish c (Welcome { version; caps; server })
+    else if tag = tag_accepted then
+      finish c (Accepted { ticket = get_u32 c "ticket" })
+    else if tag = tag_busy then
+      finish c (Busy { queue_depth = get_u32 c "queue_depth" })
+    else if tag = tag_rejected then begin
+      let ticket = get_u32 c "ticket" in
+      let code = get_str c "code" in
+      let message = get_str c "message" in
+      finish c (Rejected { ticket; code; message })
+    end
+    else if tag = tag_pending then begin
+      let ticket = get_u32 c "ticket" in
+      let running = get_u8 c "running" <> 0 in
+      finish c (Pending { ticket; running })
+    end
+    else if tag = tag_result then begin
+      let ticket = get_u32 c "ticket" in
+      let elapsed_us = get_f64 c "elapsed_us" in
+      let ngrids = get_u32 c "ngrids" in
+      if ngrids > 4096 then raise (Bad "implausible grid count");
+      let grids =
+        List.init ngrids (fun _ ->
+            let gname = get_str c "grid name" in
+            let rank = get_u32 c "rank" in
+            if rank > 16 then raise (Bad "implausible grid rank");
+            let gshape = List.init rank (fun _ -> get_u32 c "extent") in
+            let n = get_u32 c "grid size" in
+            need c (8 * n) "grid data";
+            let gdata = Array.init n (fun _ -> get_f64 c "cell") in
+            { gname; gshape; gdata })
+      in
+      finish c (Result { ticket; elapsed_us; grids })
+    end
+    else if tag = tag_stats_reply then
+      finish c (Stats_reply { json = get_str c "json" })
+    else if tag = tag_bye then finish c Bye
+    else raise (Bad (Printf.sprintf "unknown reply tag 0x%02x" tag))
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* ------------------------------------------------------------ frame I/O *)
+
+let rec retry_read fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd buf off len
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match retry_read fd buf off (n - off) with
+      | 0 -> if off = 0 then None else raise (Bad "EOF mid-frame")
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame fd =
+  try
+    match read_exact fd 4 with
+    | None -> Ok None
+    | Some prefix -> (
+        let len =
+          Int32.to_int (String.get_int32_be prefix 0) land 0xFFFF_FFFF
+        in
+        if len > max_frame then
+          Error (Printf.sprintf "incoming frame of %d bytes exceeds max" len)
+        else
+          match read_exact fd len with
+          | None -> Error "EOF mid-frame"
+          | Some payload -> Ok (Some (prefix ^ payload)))
+  with
+  | Bad m -> Error m
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_frame fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then
+      match Unix.write fd buf off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_request fd =
+  match read_frame fd with
+  | Ok None -> Ok None
+  | Ok (Some s) -> Result.map Option.some (decode_request s)
+  | Error _ as e -> e
+
+let read_reply fd =
+  match read_frame fd with
+  | Ok None -> Ok None
+  | Ok (Some s) -> Result.map Option.some (decode_reply s)
+  | Error _ as e -> e
+
+let write_request fd r = write_frame fd (encode_request r)
+let write_reply fd r = write_frame fd (encode_reply r)

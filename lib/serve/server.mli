@@ -1,0 +1,69 @@
+(** The multi-tenant solve server.
+
+    One process keeps the [Jit] compile cache and the worker pool warm
+    across requests from many tenants.  A connection thread parses and
+    admits SUBMITs (quota via [Session], global backpressure via a
+    bounded queue answered with BUSY); executor threads drain the queue
+    in round-robin tenant order, compile through a coalescing front (two
+    identical in-flight compiles share one [Jit] lowering — equality is
+    {!Sf_backends.Jit.cache_key_hex}) and run each request under
+    {!Sf_resilience.Supervisor.protect}, so one tenant's
+    certification failure, injected fault or NaN-poisoned result is an
+    ERROR reply to that tenant and nothing else.
+
+    Fault-carrying submissions (capability-gated) arm the {e process
+    global} [Fault] clauses, so they run exclusively: an armed request
+    waits for in-flight clean solves to drain, and clean solves wait for
+    the disarm — isolation by scheduling, pinned by the [@serve] tests.
+
+    Latency, queue depth and coalescing feed [Sf_trace.Slo]; STATS
+    renders them (plus [Jit.cache_stats] and per-tenant counters) as one
+    JSON document. *)
+
+type config = {
+  threads : int;  (** executor threads (>= 1) *)
+  queue_cap : int;  (** queued-request ceiling before BUSY *)
+  quota : Session.quota;  (** applied to tenants on first contact *)
+  backend : Sf_backends.Jit.backend;  (** default when a SUBMIT names none *)
+  workers : int;  (** default [Config.workers] for solves *)
+  max_program_bytes : int;
+  allow_faults : bool;  (** grant [cap_faults] *)
+  allow_shutdown : bool;  (** grant [cap_shutdown] *)
+}
+
+val default_config : config
+(** 2 executor threads, queue of 64, default quota, [openmp] x 1 worker,
+    1 MiB programs, faults and shutdown allowed. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Start the executor threads.  Also registers the serving verdict
+    classifiers ([Certification_failed] / [Fault.Injected] /
+    [Guard.Tripped] → protocol error codes) on first use. *)
+
+val config : t -> config
+
+val serve_pair : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Run one connection inline over an (input, output) descriptor pair —
+    blocking until the peer disconnects, a protocol error closes it, or
+    SHUTDOWN stops the server.  This is both the stdio transport and the
+    in-process test harness (a socketpair). *)
+
+val serve_fd : t -> Unix.file_descr -> unit
+(** {!serve_pair} over one bidirectional descriptor. *)
+
+val listen_unix : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (unlinking a stale one), accept
+    connections — one thread each — until the server is stopped, then
+    clean up the socket file and return.  {!stop} (e.g. from a SHUTDOWN
+    request) interrupts the accept loop. *)
+
+val stats_json : t -> string
+(** The STATS document (also what [--stats-json] writes at exit). *)
+
+val stop : t -> unit
+val stopped : t -> bool
+
+val join : t -> unit
+(** Wait for the executor threads to exit (call after {!stop}). *)

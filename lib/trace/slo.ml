@@ -1,0 +1,148 @@
+(* SLO aggregation: bounded reservoirs + gauges over the trace substrate.
+
+   One module-wide mutex guards the registry and every sample write; a
+   sample is a handful of field updates, so contention is negligible next
+   to the solves being measured.  Percentiles copy the live window under
+   the lock and sort outside it. *)
+
+open Sf_util
+
+type series = {
+  sname : string;
+  cap : int;
+  buf : float array;  (* ring of the last [cap] samples *)
+  mutable n : int;  (* lifetime observations *)
+  mutable maxv : float;
+  mutable winsum : float;  (* sum over the current window *)
+}
+
+type gauge = { gname : string; mutable cur : int; mutable hwm : int }
+
+let mx = Mutex.create ()
+
+let locked f =
+  Mutex.lock mx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mx) f
+
+let registry : (string, series) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let series ?(capacity = 4096) name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+          let cap = max 16 capacity in
+          let s =
+            {
+              sname = name;
+              cap;
+              buf = Array.make cap 0.;
+              n = 0;
+              maxv = nan;
+              winsum = 0.;
+            }
+          in
+          Hashtbl.add registry name s;
+          s)
+
+let observe s v =
+  locked (fun () ->
+      let slot = s.n mod s.cap in
+      if s.n >= s.cap then s.winsum <- s.winsum -. s.buf.(slot);
+      s.buf.(slot) <- v;
+      s.winsum <- s.winsum +. v;
+      s.n <- s.n + 1;
+      if not (v <= s.maxv) then s.maxv <- v)
+
+let time ?(kind = Trace.Phase) ?args s f =
+  let t0 = Trace.now_us () in
+  let record () = observe s (Trace.now_us () -. t0) in
+  if Trace.on () then
+    Trace.span ?args kind s.sname (fun () ->
+        Fun.protect ~finally:record f)
+  else Fun.protect ~finally:record f
+
+let count s = locked (fun () -> s.n)
+let max_seen s = locked (fun () -> s.maxv)
+
+let window s =
+  locked (fun () ->
+      let len = min s.n s.cap in
+      Array.sub s.buf 0 len)
+
+let percentile s p =
+  let w = window s in
+  if Array.length w = 0 then nan else Stats.percentile p w
+
+let mean_window s =
+  let w = window s in
+  if Array.length w = 0 then nan else Stats.mean w
+
+type summary = {
+  sname : string;
+  n : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  smax : float;
+  smean : float;
+}
+
+let summary s =
+  let w = window s in
+  let pct p = if Array.length w = 0 then nan else Stats.percentile p w in
+  {
+    sname = s.sname;
+    n = count s;
+    p50 = pct 50.;
+    p90 = pct 90.;
+    p99 = pct 99.;
+    smax = max_seen s;
+    smean = (if Array.length w = 0 then nan else Stats.mean w);
+  }
+
+let all () =
+  let ss = locked (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) registry []) in
+  List.sort
+    (fun (a : series) (b : series) -> String.compare a.sname b.sname)
+    ss
+  |> List.map summary
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { gname = name; cur = 0; hwm = 0 } in
+          Hashtbl.add gauges name g;
+          g)
+
+let gauge_set g v =
+  locked (fun () ->
+      g.cur <- v;
+      if v > g.hwm then g.hwm <- v)
+
+let gauge_add g d =
+  locked (fun () ->
+      g.cur <- g.cur + d;
+      if g.cur > g.hwm then g.hwm <- g.cur)
+
+let gauge_get g = locked (fun () -> g.cur)
+let gauge_hwm g = locked (fun () -> g.hwm)
+let gauge_name g = g.gname
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ (s : series) ->
+          s.n <- 0;
+          s.maxv <- nan;
+          s.winsum <- 0.;
+          Array.fill s.buf 0 s.cap 0.)
+        registry;
+      Hashtbl.iter
+        (fun _ g ->
+          g.cur <- 0;
+          g.hwm <- 0)
+        gauges)

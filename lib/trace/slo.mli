@@ -1,0 +1,77 @@
+(** Request-scoped span aggregation: SLO series and gauges.
+
+    [Trace] records raw spans for offline analysis; a long-lived server
+    additionally needs *online* aggregates — p50/p99 latency of the last N
+    requests, a queue-depth high-water mark — cheap enough to keep forever
+    and exportable from a STATS endpoint while the process keeps running.
+    A {!series} is a named, bounded reservoir of float samples (typically
+    span durations in µs): observation is O(1) into a ring of the last
+    [capacity] samples, percentiles are computed on demand over that
+    window.  A {!gauge} tracks a current integer level and its high-water
+    mark.
+
+    All operations are thread-safe (callers include server worker threads
+    and pool domains).  {!time} bridges the two worlds: it runs a thunk,
+    observes its duration into the series, and — only when tracing is
+    enabled — also records an ordinary [Trace] span, so one instrumentation
+    site feeds both the Chrome trace and the SLO aggregates. *)
+
+type series
+
+val series : ?capacity:int -> string -> series
+(** The series registered under [name], creating it on first use
+    ([capacity] — default 4096 — only applies then; later calls return the
+    existing series unchanged).  The registry is global, like the trace
+    buffer. *)
+
+val observe : series -> float -> unit
+(** Append one sample (O(1); evicts the oldest once the window is full). *)
+
+val time : ?kind:Trace.kind -> ?args:(string * Trace.arg) list ->
+  series -> (unit -> 'a) -> 'a
+(** Run the thunk, observe its wall-clock duration in µs (also when it
+    raises), and record a [Trace] span of [kind] (default [Phase]) named
+    after the series when tracing is on. *)
+
+val count : series -> int
+(** Total samples ever observed (not capped by the window). *)
+
+val percentile : series -> float -> float
+(** [percentile s p] with [p] in [0,100] over the current window;
+    [nan] when empty. *)
+
+val max_seen : series -> float
+(** Largest sample ever observed; [nan] when empty. *)
+
+val mean_window : series -> float
+(** Mean of the current window; [nan] when empty. *)
+
+type summary = {
+  sname : string;
+  n : int;  (** lifetime observation count *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  smax : float;  (** lifetime max *)
+  smean : float;  (** window mean *)
+}
+
+val summary : series -> summary
+val all : unit -> summary list
+(** Every registered series, sorted by name. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** The gauge registered under [name] (created at level 0 on first use). *)
+
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_get : gauge -> int
+val gauge_hwm : gauge -> int
+val gauge_name : gauge -> string
+(** High-water mark since creation or the last {!reset}. *)
+
+val reset : unit -> unit
+(** Zero every registered series and gauge in place (handles held by
+    callers stay valid).  Registration itself is kept. *)

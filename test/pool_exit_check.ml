@@ -1,0 +1,22 @@
+(* Regression probe for the Pool at_exit self-join hang.
+
+   at_exit handlers run on whichever domain calls [exit].  When user code
+   exits from inside a pool chunk that a helper domain stole, the
+   [at_exit Pool.shutdown] handler runs ON that helper — and a shutdown
+   that joins every helper would [Domain.join] the current domain: a
+   guaranteed deadlock the pre-fix code hit whenever work stealing placed
+   the exiting chunk off the main domain.
+
+   Exit status: 3 = the interesting path ran (exit from a stolen chunk on
+   a helper domain) and the process still terminated — the fix holds;
+   4 = the racy schedule put the chunk on the main domain this time
+   (inconclusive, the caller retries); a timeout kill = the hang.  The
+   first range call warms the helpers up so chunks really are stolen. *)
+
+let () =
+  let pool = Sf_backends.Pool.create ~workers:4 in
+  Sf_backends.Pool.parallel_range pool 100000 (fun _ _ -> ());
+  Sf_backends.Pool.parallel_range ~grain:100 pool 100000 (fun lo _ ->
+      if lo = 300 then
+        if (Domain.self () :> int) <> 0 then exit 3 else exit 4);
+  exit 4

@@ -1,0 +1,141 @@
+(* @serve-smoke: a short manual soak of the live daemon.
+
+   Spawns sfserved on a temp socket, fires --count requests (default
+   200) from --tenants concurrent tenants (default 4) drawn round-robin
+   from the corpus, then prints the request-latency p50/p99 the server
+   itself measured (STATS), shuts the daemon down and checks it exits 0.
+   Any failed request fails the soak.  A 60s hard watchdog bounds the
+   whole run regardless of server state.
+
+   Usage: serve_soak.exe SFSERVED_EXE CORPUS_DIR [COUNT] [TENANTS] *)
+
+module P = Sf_serve.Protocol
+module Client = Sf_serve.Client
+module Corpus = Sf_fuzz.Corpus
+module Json = Sf_trace.Json
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("serve_soak: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let () =
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay 60.;
+         prerr_endline "serve_soak: 60s watchdog expired";
+         exit 2)
+       ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  if Array.length Sys.argv < 3 then
+    die "usage: serve_soak SFSERVED CORPUS_DIR [COUNT] [TENANTS]";
+  let sfserved = Sys.argv.(1) in
+  let corpus_dir = Sys.argv.(2) in
+  let count = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 200 in
+  let tenants = if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 4 in
+  let programs =
+    match Corpus.files corpus_dir with
+    | [] -> die "no corpus files under %s" corpus_dir
+    | files -> Array.of_list (List.map read_file files)
+  in
+  let socket = Printf.sprintf "/tmp/sf-soak-%d.sock" (Unix.getpid ()) in
+  if Sys.file_exists socket then Sys.remove socket;
+  let daemon =
+    Unix.create_process sfserved
+      [| "sfserved"; "--socket"; socket; "--threads"; "4"; "--workers"; "1" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  at_exit (fun () ->
+      match Unix.waitpid [ Unix.WNOHANG ] daemon with
+      | 0, _ ->
+          (try Unix.kill daemon Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] daemon) with Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+  let rec await n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then die "daemon never bound %s" socket
+    else begin
+      Thread.delay 0.05;
+      await (n - 1)
+    end
+  in
+  await 200;
+  let failures = Atomic.make 0 in
+  let per_tenant = count / tenants in
+  let clients =
+    Array.init tenants (fun i ->
+        match
+          Client.connect_unix ~tenant:(Printf.sprintf "soak-%d" i) socket
+        with
+        | Ok c -> c
+        | Error m -> die "soak-%d: connect: %s" i m)
+  in
+  let worker i =
+    let c = clients.(i) in
+    for j = 0 to per_tenant - 1 do
+      let program = programs.((j + (i * 7)) mod Array.length programs) in
+      match
+        Client.solve c
+          { P.program; backend = "openmp"; workers = 1; reps = 1; fault = "" }
+      with
+      | Ok (Client.Solved _) -> ()
+      | Ok (Client.Failed { code; message }) ->
+          Printf.eprintf "soak-%d: request %d failed: %s: %s\n" i j code
+            message;
+          Atomic.incr failures
+      | Error m -> die "soak-%d: transport: %s" i m
+    done
+  in
+  let threads = List.init tenants (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let c0 = clients.(0) in
+  let stats = match Client.stats c0 with Ok s -> s | Error m -> die "stats: %s" m in
+  (match Json.of_string stats with
+  | Error m -> die "STATS did not parse: %s" m
+  | Ok doc -> (
+      match Json.member "series" doc with
+      | Some (Json.Arr series) -> (
+          let request_series =
+            List.find_opt
+              (fun s ->
+                match Json.member "name" s with
+                | Some (Json.Str n) -> n = "serve.request_us"
+                | _ -> false)
+              series
+          in
+          match request_series with
+          | None -> die "STATS has no serve.request_us series"
+          | Some s ->
+              let f key =
+                match Json.member key s with
+                | Some (Json.Num v) -> v
+                | _ -> nan
+              in
+              Printf.printf
+                "serve_soak: %d requests, %d tenants, %d failures; latency \
+                 n=%.0f p50=%.0f us p99=%.0f us\n%!"
+                (per_tenant * tenants) tenants (Atomic.get failures) (f "n")
+                (f "p50_us") (f "p99_us"))
+      | _ -> die "STATS has no series array"));
+  (match Client.shutdown c0 with
+  | Ok () -> ()
+  | Error m -> die "shutdown: %s" m);
+  Array.iter Client.close clients;
+  (match Unix.waitpid [] daemon with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> die "daemon exited %d" n
+  | _, _ -> die "daemon killed by signal");
+  if Atomic.get failures > 0 then die "%d failed requests" (Atomic.get failures);
+  print_endline "serve_soak: ok"

@@ -1,0 +1,472 @@
+(* sf_serve unit tests: protocol goldens and round-trips, malformed-frame
+   behaviour, quotas, BUSY backpressure, standalone-vs-server bitwise
+   identity — all against an in-process server over a socketpair — plus
+   the two concurrency regressions this PR pins: the Pool at_exit
+   self-join hang and torn concurrent Autotune DB writes.
+
+   A hard watchdog makes the suite timeout-proof: every past hang mode
+   here (protocol deadlock, pool self-join) presents as "never returns",
+   which must fail the build, not wedge it. *)
+
+module P = Sf_serve.Protocol
+module Server = Sf_serve.Server
+module Session = Sf_serve.Session
+module Client = Sf_serve.Client
+module Gen = Sf_fuzz.Gen
+module Corpus = Sf_fuzz.Corpus
+module Jit = Sf_backends.Jit
+module Config = Sf_backends.Config
+module Autotune = Sf_backends.Autotune
+open Sf_util
+
+let () =
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay 60.;
+         prerr_endline "test_serve: 60s watchdog expired — suite hung";
+         exit 2)
+       ())
+
+let hex s =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.of_seq (String.to_seq s)))
+
+let unhex s =
+  String.init
+    (String.length s / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* ------------------------------------------------------------- protocol *)
+
+let golden_requests =
+  [
+    ( P.Hello { version = 1; tenant = "t"; caps = 63 },
+      "0000000e010000000100000001740000003f" );
+    (P.Poll { ticket = 7 }, "000000050300000007");
+    (P.Stats, "0000000104");
+    (P.Shutdown, "0000000105");
+  ]
+
+let golden_replies =
+  [
+    (P.Busy { queue_depth = 3 }, "000000058300000003");
+    (P.Bye, "0000000188");
+    ( P.Result
+        {
+          ticket = 2;
+          elapsed_us = 1.5;
+          grids = [ { P.gname = "u"; gshape = [ 2 ]; gdata = [| 1.0; -0.0 |] } ];
+        },
+      "0000003286000000023ff8000000000000000000010000000175000000010000000200000002\
+       3ff00000000000008000000000000000" );
+  ]
+
+let test_goldens () =
+  List.iter
+    (fun (req, expect) ->
+      Alcotest.(check string) "request frame" expect (hex (P.encode_request req));
+      match P.decode_request (unhex expect) with
+      | Ok got -> Alcotest.(check bool) "request re-decodes" true (got = req)
+      | Error m -> Alcotest.failf "golden did not decode: %s" m)
+    golden_requests;
+  List.iter
+    (fun (rep, expect) ->
+      Alcotest.(check string) "reply frame" expect (hex (P.encode_reply rep));
+      match P.decode_reply (unhex expect) with
+      | Ok got -> Alcotest.(check bool) "reply re-decodes" true (got = rep)
+      | Error m -> Alcotest.failf "golden did not decode: %s" m)
+    golden_replies
+
+let test_roundtrip () =
+  let requests =
+    [
+      P.Hello { version = 1; tenant = "alice"; caps = P.cap_all };
+      P.Submit
+        {
+          P.program = "; sffuzz (v 1)\n(group g)";
+          backend = "openmp";
+          workers = 4;
+          reps = 3;
+          fault = "kernel:raise@n=1";
+        };
+      P.Poll { ticket = 123456 };
+      P.Stats;
+      P.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_request (P.encode_request r) with
+      | Ok got -> Alcotest.(check bool) "request round-trips" true (got = r)
+      | Error m -> Alcotest.failf "round-trip failed: %s" m)
+    requests;
+  let replies =
+    [
+      P.Welcome { version = 1; caps = 21; server = "sfserved/1" };
+      P.Accepted { ticket = 9 };
+      P.Busy { queue_depth = 64 };
+      P.Rejected { ticket = 0; code = "proto"; message = "nope" };
+      P.Pending { ticket = 5; running = true };
+      P.Result
+        {
+          ticket = 5;
+          elapsed_us = 123.25;
+          grids =
+            [
+              { P.gname = "u"; gshape = [ 3; 4 ]; gdata = Array.init 12 float_of_int };
+              { P.gname = "rhs"; gshape = [ 2 ]; gdata = [| infinity; 1e-300 |] };
+            ];
+        };
+      P.Stats_reply { json = "{\"a\":1}" };
+      P.Bye;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_reply (P.encode_reply r) with
+      | Ok got -> Alcotest.(check bool) "reply round-trips" true (got = r)
+      | Error m -> Alcotest.failf "round-trip failed: %s" m)
+    replies
+
+let test_malformed () =
+  let bad name s =
+    match P.decode_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s decoded" name
+  in
+  bad "empty" "";
+  bad "short header" "\x00\x00";
+  bad "unknown tag" (unhex "00000001ff");
+  bad "truncated hello" (unhex "0000000a0100000001000000ff");
+  bad "trailing bytes" (unhex "000000020500");
+  bad "length lie" (unhex "000000ff0400");
+  (match P.decode_reply (unhex "00000001e9") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown reply tag decoded")
+
+(* ------------------------------------------------- in-process harness *)
+
+let with_server ?config f =
+  let t = Server.create ?config () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.join t)
+    (fun () -> f t)
+
+(* One client connection served by a dedicated thread over a socketpair. *)
+let with_conn t ~tenant f =
+  let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server_thread = Thread.create (fun () -> Server.serve_fd t s_fd) () in
+  let finish () =
+    (try Unix.close c_fd with Unix.Unix_error _ -> ());
+    Thread.join server_thread;
+    try Unix.close s_fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      match Client.of_fds ~tenant c_fd c_fd with
+      | Ok c -> f c
+      | Error m -> Alcotest.failf "handshake: %s" m)
+
+let spec_program seed =
+  let spec = Gen.spec ~seed () in
+  (spec, Corpus.to_string spec)
+
+let clean_submit ?(backend = "openmp") ?(workers = 1) program =
+  { P.program; backend; workers; reps = 1; fault = "" }
+
+let test_malformed_over_wire () =
+  with_server (fun t ->
+      let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let server_thread = Thread.create (fun () -> Server.serve_fd t s_fd) () in
+      P.write_request c_fd (P.Hello { version = P.version; tenant = "m"; caps = P.cap_all });
+      (match P.read_reply c_fd with
+      | Ok (Some (P.Welcome _)) -> ()
+      | _ -> Alcotest.fail "no welcome");
+      (* raw garbage: announced length 1, unknown tag *)
+      P.write_frame c_fd (unhex "00000001f0");
+      (match P.read_reply c_fd with
+      | Ok (Some (P.Rejected { ticket = 0; code; _ })) ->
+          Alcotest.(check string) "proto error" P.err_proto code
+      | r ->
+          Alcotest.failf "expected proto error, got %s"
+            (match r with Ok None -> "EOF" | Error m -> m | _ -> "other reply"));
+      Unix.close c_fd;
+      Thread.join server_thread;
+      (try Unix.close s_fd with Unix.Unix_error _ -> ());
+      (* the server survived: a fresh connection still solves *)
+      let _, program = spec_program 42 in
+      with_conn t ~tenant:"m2" (fun c ->
+          match Client.solve c (clean_submit program) with
+          | Ok (Client.Solved _) -> ()
+          | Ok (Client.Failed { code; message }) ->
+              Alcotest.failf "solve failed %s: %s" code message
+          | Error m -> Alcotest.failf "transport: %s" m))
+
+let test_version_mismatch () =
+  with_server (fun t ->
+      let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let server_thread = Thread.create (fun () -> Server.serve_fd t s_fd) () in
+      P.write_request c_fd (P.Hello { version = 99; tenant = "v"; caps = 0 });
+      (match P.read_reply c_fd with
+      | Ok (Some (P.Rejected { ticket = 0; code; _ })) ->
+          Alcotest.(check string) "proto error" P.err_proto code
+      | _ -> Alcotest.fail "expected version rejection");
+      (* the server side hung up after the rejection... *)
+      Thread.join server_thread;
+      Unix.close s_fd;
+      (* ...so the client sees EOF, not more replies *)
+      (match P.read_reply c_fd with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "connection should be closed");
+      Unix.close c_fd)
+
+let test_parse_error () =
+  with_server (fun t ->
+      with_conn t ~tenant:"p" (fun c ->
+          match Client.submit c (clean_submit "this is not a program") with
+          | Ok (P.Rejected { code; _ }) ->
+              Alcotest.(check string) "parse error" P.err_parse code
+          | _ -> Alcotest.fail "expected parse rejection"))
+
+let test_quotas () =
+  let spec, program = spec_program 43 in
+  let cells = Ivec.product spec.Gen.shape in
+  (* per-request cell ceiling *)
+  let config =
+    {
+      Server.default_config with
+      Server.quota = { Session.default_quota with Session.max_cells = cells - 1 };
+    }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"q-cells" (fun c ->
+          match Client.submit c (clean_submit program) with
+          | Ok (P.Rejected { code; _ }) ->
+              Alcotest.(check string) "cell quota" P.err_quota_cells code
+          | _ -> Alcotest.fail "expected quota-cells rejection"));
+  (* cumulative budget: two requests fit, the third does not *)
+  let config =
+    {
+      Server.default_config with
+      Server.quota =
+        { Session.default_quota with Session.cell_budget = (2 * cells) + 1 };
+    }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"q-budget" (fun c ->
+          for i = 1 to 2 do
+            match Client.solve c (clean_submit program) with
+            | Ok (Client.Solved _) -> ()
+            | _ -> Alcotest.failf "request %d should solve" i
+          done;
+          match Client.submit c (clean_submit program) with
+          | Ok (P.Rejected { code; _ }) ->
+              Alcotest.(check string) "budget quota" P.err_quota_budget code
+          | _ -> Alcotest.fail "expected quota-budget rejection"))
+
+let test_busy_backpressure () =
+  let _, program = spec_program 44 in
+  let config =
+    { Server.default_config with Server.threads = 1; queue_cap = 1 }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"busy" (fun c ->
+          (* occupy the only executor: a delay fault stalls the solve *)
+          let slow =
+            { (clean_submit program) with P.fault = "kernel:delay=0.7" }
+          in
+          let slow_ticket =
+            match Client.submit c slow with
+            | Ok (P.Accepted { ticket }) -> ticket
+            | _ -> Alcotest.fail "slow submit not accepted"
+          in
+          (* wait until it is actually running, i.e. off the queue *)
+          let rec await_running () =
+            match Client.poll c slow_ticket with
+            | Ok (P.Pending { running = true; _ }) -> ()
+            | Ok (P.Pending { running = false; _ }) ->
+                Thread.delay 0.005;
+                await_running ()
+            | _ -> Alcotest.fail "unexpected poll reply while waiting"
+          in
+          await_running ();
+          (* fill the queue (capacity 1)... *)
+          let queued_ticket =
+            match Client.submit c (clean_submit program) with
+            | Ok (P.Accepted { ticket }) -> ticket
+            | _ -> Alcotest.fail "queued submit not accepted"
+          in
+          (* ...so the next submit must bounce with BUSY, not block *)
+          (match Client.submit c (clean_submit program) with
+          | Ok (P.Busy { queue_depth }) ->
+              Alcotest.(check int) "reported depth" 1 queue_depth
+          | Ok (P.Accepted _) -> Alcotest.fail "expected BUSY, got ACCEPTED"
+          | _ -> Alcotest.fail "expected BUSY");
+          (* everything admitted still completes *)
+          (match Client.wait c slow_ticket with
+          | Ok (Client.Solved _) -> ()
+          | _ -> Alcotest.fail "delayed request should still solve");
+          match Client.wait c queued_ticket with
+          | Ok (Client.Solved _) -> ()
+          | _ -> Alcotest.fail "queued request should solve"))
+
+(* ------------------------------------- standalone vs server, bitwise *)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Fcmp.ulp_equal ~ulps:0 x y) a b
+
+let local_run spec ~workers =
+  let config = { Config.default with Config.workers } in
+  let kernel =
+    Jit.compile ~config Jit.Openmp ~shape:spec.Gen.shape spec.Gen.group
+  in
+  let grids = Gen.build_grids spec in
+  kernel.Sf_backends.Kernel.run ~params:spec.Gen.params grids;
+  grids
+
+let test_bitwise_vs_standalone () =
+  with_server (fun t ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun seed ->
+              let spec, program = spec_program seed in
+              let reference = local_run spec ~workers in
+              with_conn t
+                ~tenant:(Printf.sprintf "bitwise-%d" workers)
+                (fun c ->
+                  match Client.solve c (clean_submit ~workers program) with
+                  | Ok (Client.Solved { grids; _ }) ->
+                      Alcotest.(check bool)
+                        "server returned every grid" true
+                        (List.length grids
+                        = List.length (Sf_mesh.Grids.names reference));
+                      List.iter
+                        (fun (g : P.grid) ->
+                          let m = Sf_mesh.Grids.find reference g.P.gname in
+                          let fa = Sf_mesh.Mesh.data m in
+                          let local =
+                            Array.init (Float.Array.length fa)
+                              (Float.Array.get fa)
+                          in
+                          if not (bits_equal local g.P.gdata) then
+                            Alcotest.failf
+                              "grid %s differs from the standalone run \
+                               (seed %d, workers %d)"
+                              g.P.gname seed workers)
+                        grids
+                  | Ok (Client.Failed { code; message }) ->
+                      Alcotest.failf "solve failed %s: %s" code message
+                  | Error m -> Alcotest.failf "transport: %s" m))
+            [ 46; 47; 48 ])
+        [ 1; 4 ])
+
+(* --------------------------------------------- pool at_exit regression *)
+
+(* pool_exit_check exits 3 when the interesting schedule happened (exit
+   from a chunk stolen by a helper domain) and the process still died
+   cleanly; 4 when the racy schedule was uninteresting.  The pre-fix
+   pool hangs on status-3 schedules, which the per-attempt timeout turns
+   into a failure. *)
+(* the probe executables live next to this test binary *)
+let sibling exe = Filename.concat (Filename.dirname Sys.executable_name) exe
+
+let test_pool_exit_regression () =
+  let attempt () =
+    let pid =
+      Unix.create_process
+        (sibling "pool_exit_check.exe")
+        [| "pool_exit_check.exe" |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec reap () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if Unix.gettimeofday () > deadline then begin
+            Unix.kill pid Sys.sigkill;
+            ignore (Unix.waitpid [] pid);
+            Alcotest.fail
+              "pool_exit_check hung: at_exit shutdown self-join regressed"
+          end
+          else begin
+            Thread.delay 0.02;
+            reap ()
+          end
+      | _, Unix.WEXITED n -> n
+      | _, _ -> Alcotest.fail "pool_exit_check killed by signal"
+    in
+    reap ()
+  in
+  (* retry until the stolen-chunk schedule actually occurs *)
+  let rec go n =
+    if n = 0 then
+      Alcotest.fail "stolen-chunk schedule never occurred in 40 attempts"
+    else
+      match attempt () with
+      | 3 -> ()
+      | 4 -> go (n - 1)
+      | n -> Alcotest.failf "unexpected pool_exit_check status %d" n
+  in
+  go 40
+
+(* ------------------------------------------ autotune DB concurrency *)
+
+let test_autotune_db_concurrent () =
+  let db = Filename.temp_file "sf_tune_test" ".json" in
+  Sys.remove db;
+  (* four separate writer processes against one DB path: every writer
+     checks the document is well-formed after each of its own writes *)
+  let pids =
+    List.init 4 (fun child ->
+        Unix.create_process
+          (sibling "tune_write_check.exe")
+          [| "tune_write_check.exe"; db; string_of_int child |]
+          Unix.stdin Unix.stdout Unix.stderr)
+  in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n ->
+          Alcotest.failf "writer observed a torn DB (exit %d)" n
+      | _, _ -> Alcotest.fail "writer killed")
+    pids;
+  Alcotest.(check bool) "final DB well-formed" true (Autotune.db_is_wellformed ~db);
+  Alcotest.(check bool)
+    "entries survived" true
+    (Autotune.db_entry_count ~db >= 1);
+  Sys.remove db
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "goldens" `Quick test_goldens;
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "malformed frames" `Quick test_malformed;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "malformed over wire" `Quick
+            test_malformed_over_wire;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "quotas" `Quick test_quotas;
+          Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
+          Alcotest.test_case "bitwise vs standalone" `Quick
+            test_bitwise_vs_standalone;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "pool at_exit self-join" `Quick
+            test_pool_exit_regression;
+          Alcotest.test_case "autotune db concurrency" `Quick
+            test_autotune_db_concurrent;
+        ] );
+    ]

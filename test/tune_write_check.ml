@@ -1,0 +1,30 @@
+(* Concurrent-writer probe for the Autotune DB: one process hammering
+   [db_persist] against a shared path.  test_serve spawns four of these
+   at once; every write is a whole-document read-modify-write published
+   by atomic rename, so each writer must observe a well-formed document
+   after each of its own writes no matter how the others interleave.
+   Exit 0 = never saw a torn DB, 1 = corruption observed.
+
+   Usage: tune_write_check.exe DB_PATH CHILD_INDEX *)
+
+module Autotune = Sf_backends.Autotune
+module Config = Sf_backends.Config
+module Jit = Sf_backends.Jit
+module Gen = Sf_fuzz.Gen
+
+let () =
+  let db = Sys.argv.(1) in
+  let child = int_of_string Sys.argv.(2) in
+  let spec = Gen.spec ~seed:45 () in
+  let plan =
+    { Autotune.fusion = false; tile = None; time_tile = 1; time_block = 0 }
+  in
+  let ok = ref true in
+  for i = 0 to 24 do
+    Autotune.db_persist ~db ~config:Config.default ~backend:Jit.Openmp
+      ~shape:spec.Gen.shape
+      ~reps:((child * 1000) + i + 1)
+      ~plan spec.Gen.group;
+    if not (Autotune.db_is_wellformed ~db) then ok := false
+  done;
+  exit (if !ok then 0 else 1)
