@@ -10,9 +10,11 @@
 
    Per-tenant quotas (--max-inflight/--max-cells/--cell-budget) bound
    each tenant; the bounded queue (--queue) answers BUSY past capacity.
-   On shutdown (SHUTDOWN request or SIGINT/SIGTERM) the daemon drains,
-   prints the STATS document to --stats-json if given, and exits 0.
-   docs/SERVING.md documents the wire format and the STATS fields. *)
+   On shutdown (SHUTDOWN request or SIGINT/SIGTERM) running solves
+   finish and deliver, still-queued tickets get a terminal
+   "server shutting down" ERROR, the STATS document goes to --stats-json
+   if given, and the process exits 0.  docs/SERVING.md documents the
+   wire format and the STATS fields. *)
 
 open Cmdliner
 module Server = Sf_serve.Server
@@ -132,7 +134,11 @@ let run socket stdio threads workers queue max_inflight max_cells cell_budget
       with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigint; Sys.sigterm ];
   (match (socket, stdio) with
-  | Some path, false -> Server.listen_unix t ~path
+  | Some path, false -> (
+      try Server.listen_unix t ~path
+      with Failure m ->
+        Printf.eprintf "sfserved: %s\n" m;
+        exit 1)
   | None, true -> Server.serve_pair t Unix.stdin Unix.stdout
   | Some _, true ->
       Printf.eprintf "sfserved: --socket and --stdio are exclusive\n";

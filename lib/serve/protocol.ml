@@ -322,6 +322,8 @@ let read_frame fd =
   | Bad m -> Error m
   | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
+exception Closed
+
 let write_frame fd s =
   let buf = Bytes.unsafe_of_string s in
   let n = Bytes.length buf in
@@ -330,6 +332,8 @@ let write_frame fd s =
       match Unix.write fd buf off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise Closed
   in
   go 0
 

@@ -120,7 +120,15 @@ val decode_reply : string -> (reply, string) result
 val read_frame : Unix.file_descr -> (string option, string) result
 (** One complete frame (prefix included), ready for [decode_*]. *)
 
+exception Closed
+(** The peer hung up: a write hit [EPIPE]/[ECONNRESET].  Raised by
+    [write_frame] and the [write_*] helpers below.  For the error to
+    arrive as an exception rather than a process-killing [SIGPIPE], the
+    signal must be ignored — {!Server.create} does this once for the
+    process. *)
+
 val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame; raises {!Closed} if the peer is gone. *)
 
 val read_request : Unix.file_descr -> (request option, string) result
 val read_reply : Unix.file_descr -> (reply option, string) result

@@ -69,6 +69,7 @@ type t = {
   queues : (string, job Queue.t) Hashtbl.t;
   mutable rr : string list; (* round-robin tenant rotation *)
   tickets : (int, ticket_state) Hashtbl.t;
+  orphaned : (int, unit) Hashtbl.t; (* running, but the submitter is gone *)
   mutable next_ticket : int;
   mutable queued : int;
   mutable stop_flag : bool;
@@ -80,6 +81,7 @@ type t = {
   xcv : Condition.t;
   mutable clean_active : int;
   mutable fault_active : bool;
+  mutable fault_waiting : int;
   (* --- counters (sched) --- *)
   mutable n_busy : int;
   mutable n_coalesced : int;
@@ -179,9 +181,13 @@ let coalesced_compile t ~key compile =
           Condition.broadcast t.compile_done))
     compile
 
+(* Clean entry also yields to *waiting* faulted jobs, not just the
+   active one: without that, continuous clean traffic keeps
+   clean_active > 0 forever and a faulted job starves (classic
+   reader-writer writer starvation). *)
 let enter_clean t =
   Mutex.lock t.xmx;
-  while t.fault_active do
+  while t.fault_active || t.fault_waiting > 0 do
     Condition.wait t.xcv t.xmx
   done;
   t.clean_active <- t.clean_active + 1;
@@ -195,9 +201,11 @@ let leave_clean t =
 
 let enter_faulted t =
   Mutex.lock t.xmx;
+  t.fault_waiting <- t.fault_waiting + 1;
   while t.fault_active || t.clean_active > 0 do
     Condition.wait t.xcv t.xmx
   done;
+  t.fault_waiting <- t.fault_waiting - 1;
   t.fault_active <- true;
   Mutex.unlock t.xmx
 
@@ -270,8 +278,48 @@ let run_job t job =
         P.Rejected { ticket = job.ticket; code = v.code; message = v.message }
   in
   Mutex.protect t.sched (fun () ->
-      Hashtbl.replace t.tickets job.ticket
-        (Done (Session.tenant job.session, reply)))
+      if Hashtbl.mem t.orphaned job.ticket then begin
+        (* the submitting connection died mid-solve; nobody can ever
+           poll this reply — drop it instead of holding the grids *)
+        Hashtbl.remove t.orphaned job.ticket;
+        Hashtbl.remove t.tickets job.ticket
+      end
+      else
+        Hashtbl.replace t.tickets job.ticket
+          (Done (Session.tenant job.session, reply)))
+
+(* A connection died with tickets outstanding: free what nobody will
+   ever poll.  Done replies are dropped now, queued jobs are cancelled
+   before they waste an executor, running jobs are marked so [run_job]
+   drops their reply on completion. *)
+let release_tickets t tickets =
+  if Hashtbl.length tickets > 0 then
+    Mutex.protect t.sched (fun () ->
+        Hashtbl.iter
+          (fun ticket () ->
+            match Hashtbl.find_opt t.tickets ticket with
+            | None -> ()
+            | Some (Done _) -> Hashtbl.remove t.tickets ticket
+            | Some (Running _) -> Hashtbl.replace t.orphaned ticket ()
+            | Some (Queued job) ->
+                (match
+                   Hashtbl.find_opt t.queues (Session.tenant job.session)
+                 with
+                | None -> ()
+                | Some q ->
+                    let keep =
+                      Queue.fold
+                        (fun acc j ->
+                          if j.ticket = ticket then acc else j :: acc)
+                        [] q
+                    in
+                    Queue.clear q;
+                    List.iter (fun j -> Queue.push j q) (List.rev keep));
+                t.queued <- t.queued - 1;
+                Slo.gauge_set t.depth_gauge t.queued;
+                Session.finish job.session;
+                Hashtbl.remove t.tickets ticket)
+          tickets)
 
 let pick_is_empty t =
   List.for_all
@@ -307,6 +355,11 @@ let executor t () =
 
 let create ?(config = default_config) () =
   register_classifiers ();
+  (* a reply racing a client hang-up must surface as EPIPE
+     (-> Protocol.Closed, connection death), never as a SIGPIPE that
+     takes the whole daemon down *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let t =
     {
       cfg = config;
@@ -315,6 +368,7 @@ let create ?(config = default_config) () =
       queues = Hashtbl.create 8;
       rr = [];
       tickets = Hashtbl.create 64;
+      orphaned = Hashtbl.create 8;
       next_ticket = 1;
       queued = 0;
       stop_flag = false;
@@ -325,6 +379,7 @@ let create ?(config = default_config) () =
       xcv = Condition.create ();
       clean_active = 0;
       fault_active = false;
+      fault_waiting = 0;
       n_busy = 0;
       n_coalesced = 0;
       executors = [];
@@ -342,6 +397,28 @@ let stop t =
   let fd =
     Mutex.protect t.sched (fun () ->
         t.stop_flag <- true;
+        (* executors will never pick these up once stop_flag is set:
+           give every queued ticket a terminal reply instead of
+           silently dropping work that was already Accepted *)
+        Hashtbl.iter
+          (fun _ q ->
+            Queue.iter
+              (fun job ->
+                Session.finish job.session;
+                Hashtbl.replace t.tickets job.ticket
+                  (Done
+                     ( Session.tenant job.session,
+                       P.Rejected
+                         {
+                           ticket = job.ticket;
+                           code = P.err_proto;
+                           message = "server shutting down";
+                         } )))
+              q;
+            Queue.clear q)
+          t.queues;
+        t.queued <- 0;
+        Slo.gauge_set t.depth_gauge 0;
         Condition.broadcast t.work;
         Condition.broadcast t.compile_done;
         let fd = t.listen_fd in
@@ -469,8 +546,9 @@ let stats_json t =
     if hits + misses = 0 then 0.
     else float_of_int hits /. float_of_int (hits + misses)
   in
-  let busy, coalesced, depth =
-    Mutex.protect t.sched (fun () -> (t.n_busy, t.n_coalesced, t.queued))
+  let busy, coalesced, depth, tickets =
+    Mutex.protect t.sched (fun () ->
+        (t.n_busy, t.n_coalesced, t.queued, Hashtbl.length t.tickets))
   in
   let series =
     List.map
@@ -522,6 +600,7 @@ let stats_json t =
              [
                ("depth", num depth);
                ("hwm", num (Slo.gauge_hwm t.depth_gauge));
+               ("tickets", num tickets);
              ] );
          ("series", Json.Arr series);
          ("tenants", Json.Arr tenants);
@@ -537,65 +616,108 @@ let granted_caps t requested =
 
 let serve_pair t in_fd out_fd =
   let send r = P.write_reply out_fd r in
-  match P.read_request in_fd with
-  | Ok (Some (P.Hello { version; tenant; caps }))
-    when version = P.version && tenant <> "" ->
-      let granted = granted_caps t caps in
-      send (P.Welcome { version = P.version; caps = granted; server = "sfserved/1" });
-      let session = Session.find_or_create ~quota:t.cfg.quota tenant in
-      let has c = granted land c <> 0 in
-      let rec loop () =
-        match P.read_request in_fd with
-        | Ok None -> ()
-        | Error m -> send (reject P.err_proto m)
-        | Ok (Some req) -> (
-            match req with
-            | P.Hello _ ->
-                send (reject P.err_proto "duplicate HELLO");
-                loop ()
-            | P.Submit _ when not (has P.cap_submit) ->
-                send (reject P.err_proto "submit capability not granted");
-                loop ()
-            | P.Submit s when s.P.fault <> "" && not (has P.cap_faults) ->
-                send (reject P.err_proto "faults capability not granted");
-                loop ()
-            | P.Submit s ->
-                send (handle_submit t session s);
-                loop ()
-            | P.Poll { ticket } when has P.cap_poll ->
-                send (handle_poll t tenant ticket);
-                loop ()
-            | P.Poll _ ->
-                send (reject P.err_proto "poll capability not granted");
-                loop ()
-            | P.Stats when has P.cap_stats ->
-                send (P.Stats_reply { json = stats_json t });
-                loop ()
-            | P.Stats ->
-                send (reject P.err_proto "stats capability not granted");
-                loop ()
-            | P.Shutdown when has P.cap_shutdown ->
-                send P.Bye;
-                stop t
-            | P.Shutdown ->
-                send (reject P.err_proto "shutdown capability not granted");
-                loop ())
-      in
-      loop ()
-  | Ok (Some (P.Hello { version; _ })) when version <> P.version ->
-      send
-        (reject P.err_proto
-           (Printf.sprintf "protocol version %d, server speaks %d" version
-              P.version))
-  | Ok (Some (P.Hello _)) -> send (reject P.err_proto "empty tenant name")
-  | Ok (Some _) -> send (reject P.err_proto "first message must be HELLO")
-  | Ok None -> ()
-  | Error m -> ( try send (reject P.err_proto m) with _ -> ())
+  (* tickets this connection created and has not yet claimed; reaped on
+     disconnect so an abandoned Done reply (holding full result grids)
+     cannot accumulate in a long-lived daemon *)
+  let conn_tickets = Hashtbl.create 8 in
+  let serve () =
+    match P.read_request in_fd with
+    | Ok (Some (P.Hello { version; tenant; caps }))
+      when version = P.version && tenant <> "" ->
+        let granted = granted_caps t caps in
+        send
+          (P.Welcome
+             { version = P.version; caps = granted; server = "sfserved/1" });
+        let session = Session.find_or_create ~quota:t.cfg.quota tenant in
+        let has c = granted land c <> 0 in
+        let rec loop () =
+          match P.read_request in_fd with
+          | Ok None -> ()
+          | Error m -> send (reject P.err_proto m)
+          | Ok (Some req) -> (
+              match req with
+              | P.Hello _ ->
+                  send (reject P.err_proto "duplicate HELLO");
+                  loop ()
+              | P.Submit _ when not (has P.cap_submit) ->
+                  send (reject P.err_proto "submit capability not granted");
+                  loop ()
+              | P.Submit s when s.P.fault <> "" && not (has P.cap_faults) ->
+                  send (reject P.err_proto "faults capability not granted");
+                  loop ()
+              | P.Submit s ->
+                  let r = handle_submit t session s in
+                  (match r with
+                  | P.Accepted { ticket } ->
+                      Hashtbl.replace conn_tickets ticket ()
+                  | _ -> ());
+                  send r;
+                  loop ()
+              | P.Poll { ticket } when has P.cap_poll ->
+                  let r = handle_poll t tenant ticket in
+                  (match r with
+                  | (P.Result { ticket = tk; _ } | P.Rejected { ticket = tk; _ })
+                    when tk = ticket ->
+                      Hashtbl.remove conn_tickets ticket
+                  | _ -> ());
+                  send r;
+                  loop ()
+              | P.Poll _ ->
+                  send (reject P.err_proto "poll capability not granted");
+                  loop ()
+              | P.Stats when has P.cap_stats ->
+                  send (P.Stats_reply { json = stats_json t });
+                  loop ()
+              | P.Stats ->
+                  send (reject P.err_proto "stats capability not granted");
+                  loop ()
+              | P.Shutdown when has P.cap_shutdown ->
+                  send P.Bye;
+                  stop t
+              | P.Shutdown ->
+                  send (reject P.err_proto "shutdown capability not granted");
+                  loop ())
+        in
+        loop ()
+    | Ok (Some (P.Hello { version; _ })) when version <> P.version ->
+        send
+          (reject P.err_proto
+             (Printf.sprintf "protocol version %d, server speaks %d" version
+                P.version))
+    | Ok (Some (P.Hello _)) -> send (reject P.err_proto "empty tenant name")
+    | Ok (Some _) -> send (reject P.err_proto "first message must be HELLO")
+    | Ok None -> ()
+    | Error m -> ( try send (reject P.err_proto m) with _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> release_tickets t conn_tickets)
+    (fun () -> try serve () with P.Closed -> ())
 
 let serve_fd t fd = serve_pair t fd fd
 
 let listen_unix t ~path =
-  if Sys.file_exists path then Unix.unlink path;
+  (match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      (* unlink only a *stale* socket: clobbering a live one would
+         silently sever a running daemon's listener *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close probe with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> true
+            | exception
+                Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+                false)
+      in
+      if live then
+        failwith
+          (Printf.sprintf "socket %s: a server is already listening" path)
+      else Unix.unlink path
+  | _ -> failwith (Printf.sprintf "refusing to unlink %s: not a socket" path));
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 16;

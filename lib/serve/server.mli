@@ -40,7 +40,10 @@ type t
 val create : ?config:config -> unit -> t
 (** Start the executor threads.  Also registers the serving verdict
     classifiers ([Certification_failed] / [Fault.Injected] /
-    [Guard.Tripped] → protocol error codes) on first use. *)
+    [Guard.Tripped] → protocol error codes) on first use, and ignores
+    [SIGPIPE] process-wide: a reply racing a client hang-up must be an
+    [EPIPE] ({!Protocol.Closed}) that kills one connection, never a
+    signal that kills the daemon. *)
 
 val config : t -> config
 
@@ -48,21 +51,34 @@ val serve_pair : t -> Unix.file_descr -> Unix.file_descr -> unit
 (** Run one connection inline over an (input, output) descriptor pair —
     blocking until the peer disconnects, a protocol error closes it, or
     SHUTDOWN stops the server.  This is both the stdio transport and the
-    in-process test harness (a socketpair). *)
+    in-process test harness (a socketpair).  On disconnect every ticket
+    the connection submitted but never claimed is released: unclaimed
+    RESULT/ERROR replies are dropped, still-queued jobs are cancelled,
+    and a running job's reply is discarded when it completes — a tenant
+    that vanishes leaks nothing. *)
 
 val serve_fd : t -> Unix.file_descr -> unit
 (** {!serve_pair} over one bidirectional descriptor. *)
 
 val listen_unix : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (unlinking a stale one), accept
-    connections — one thread each — until the server is stopped, then
-    clean up the socket file and return.  {!stop} (e.g. from a SHUTDOWN
-    request) interrupts the accept loop. *)
+(** Bind a Unix-domain socket at [path], accept connections — one
+    thread each — until the server is stopped, then clean up the socket
+    file and return.  {!stop} (e.g. from a SHUTDOWN request) interrupts
+    the accept loop.  A pre-existing [path] is probed first: a {e
+    stale} socket (connect refused) is unlinked and taken over; raises
+    [Failure] if a server is still listening there or the path is not a
+    socket at all, rather than severing it. *)
 
 val stats_json : t -> string
 (** The STATS document (also what [--stats-json] writes at exit). *)
 
 val stop : t -> unit
+(** Stop accepting and executing: running solves finish and deliver,
+    every still-queued ticket flips to a terminal
+    ["server shutting down"] ERROR (a poll never spins on a ticket no
+    executor will run), and the accept loop is interrupted.
+    Idempotent. *)
+
 val stopped : t -> bool
 
 val join : t -> unit

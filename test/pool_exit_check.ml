@@ -9,14 +9,23 @@
 
    Exit status: 3 = the interesting path ran (exit from a stolen chunk on
    a helper domain) and the process still terminated — the fix holds;
-   4 = the racy schedule put the chunk on the main domain this time
+   4 = the racy schedule put every chunk on the main domain this time
    (inconclusive, the caller retries); a timeout kill = the hang.  The
-   first range call warms the helpers up so chunks really are stolen. *)
+   first range call warms the helpers up so chunks really are stolen;
+   the exit fires from the first chunk observed on a helper domain (an
+   Atomic keeps concurrent chunks from racing into [exit]).  Chunks the
+   main domain drains *sleep*: on a single-CPU box the whole range
+   otherwise finishes on the main domain before the OS ever schedules a
+   helper, and the probe stays inconclusive for many attempts in a row.
+   The sleep donates the timeslice, so a helper wakes and steals. *)
 
 let () =
   let pool = Sf_backends.Pool.create ~workers:4 in
   Sf_backends.Pool.parallel_range pool 100000 (fun _ _ -> ());
-  Sf_backends.Pool.parallel_range ~grain:100 pool 100000 (fun lo _ ->
-      if lo = 300 then
-        if (Domain.self () :> int) <> 0 then exit 3 else exit 4);
+  let fired = Atomic.make false in
+  Sf_backends.Pool.parallel_range ~grain:100 pool 100000 (fun _ _ ->
+      if (Domain.self () :> int) <> 0 then begin
+        if not (Atomic.exchange fired true) then exit 3
+      end
+      else Unix.sleepf 0.001);
   exit 4

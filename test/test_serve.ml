@@ -313,6 +313,169 @@ let test_busy_backpressure () =
           | Ok (Client.Solved _) -> ()
           | _ -> Alcotest.fail "queued request should solve"))
 
+(* --------------------------------------------- connection death modes *)
+
+module Json = Sf_trace.Json
+
+let stats_field c path =
+  match Client.stats c with
+  | Error m -> Alcotest.failf "stats: %s" m
+  | Ok s -> (
+      match Json.of_string s with
+      | Error m -> Alcotest.failf "stats unparseable: %s" m
+      | Ok doc -> (
+          match
+            List.fold_left
+              (fun acc k -> Option.bind acc (Json.member k))
+              (Some doc) path
+          with
+          | Some (Json.Num v) -> v
+          | _ -> Alcotest.failf "stats missing %s" (String.concat "." path)))
+
+let tenant_completed c tenant =
+  match Client.stats c with
+  | Error m -> Alcotest.failf "stats: %s" m
+  | Ok s -> (
+      match Json.of_string s with
+      | Error m -> Alcotest.failf "stats unparseable: %s" m
+      | Ok doc -> (
+          match Json.member "tenants" doc with
+          | Some (Json.Arr ts) ->
+              List.fold_left
+                (fun acc t ->
+                  match
+                    (Json.member "tenant" t, Json.member "completed" t)
+                  with
+                  | Some (Json.Str name), Some (Json.Num v) when name = tenant
+                    ->
+                      v
+                  | _ -> acc)
+                0. ts
+          | _ -> 0.))
+
+(* A client that hangs up before reading its reply: the server's write
+   must surface as EPIPE (SIGPIPE is ignored in Server.create), killing
+   only that connection — pre-fix, the default SIGPIPE action killed
+   this whole test process. *)
+let test_dead_client_sigpipe () =
+  with_server (fun t ->
+      let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      P.write_request c_fd
+        (P.Hello { version = P.version; tenant = "gone"; caps = P.cap_all });
+      (* hang up before the server even reads the HELLO: the HELLO stays
+         readable in the socket buffer, so the Welcome write that
+         answers it is then guaranteed to hit EPIPE *)
+      Unix.close c_fd;
+      let server_thread = Thread.create (fun () -> Server.serve_fd t s_fd) () in
+      Thread.join server_thread;
+      (try Unix.close s_fd with Unix.Unix_error _ -> ());
+      (* the daemon survived; a fresh connection still solves *)
+      let _, program = spec_program 51 in
+      with_conn t ~tenant:"alive" (fun c ->
+          match Client.solve c (clean_submit program) with
+          | Ok (Client.Solved _) -> ()
+          | _ -> Alcotest.fail "server no longer solves after client EPIPE"))
+
+(* A tenant that disconnects without polling must not leave its Done
+   ticket (holding the full result grids) in the server forever. *)
+let test_disconnect_reaps_tickets () =
+  let _, program = spec_program 52 in
+  with_server (fun t ->
+      with_conn t ~tenant:"leaker" (fun c ->
+          (match Client.submit c (clean_submit program) with
+          | Ok (P.Accepted _) -> ()
+          | _ -> Alcotest.fail "submit not accepted");
+          (* wait for completion *without* polling the ticket — a poll
+             would claim the reply and hide the leak *)
+          let rec await n =
+            if n = 0 then Alcotest.fail "solve never completed"
+            else if tenant_completed c "leaker" < 1. then begin
+              Thread.delay 0.01;
+              await (n - 1)
+            end
+          in
+          await 1000;
+          Alcotest.(check (float 0.))
+            "one unclaimed ticket held" 1.
+            (stats_field c [ "queue"; "tickets" ]));
+      (* with_conn joined the connection thread: the reap is done *)
+      with_conn t ~tenant:"auditor" (fun c ->
+          Alcotest.(check (float 0.))
+            "unclaimed ticket reaped on disconnect" 0.
+            (stats_field c [ "queue"; "tickets" ])))
+
+(* stop() must leave every Accepted-but-unstarted ticket with a terminal
+   reply, not drop it so polls spin forever. *)
+let test_stop_rejects_queued () =
+  let _, program = spec_program 53 in
+  let config =
+    { Server.default_config with Server.threads = 1; queue_cap = 4 }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"drain" (fun c ->
+          (* park the only executor on a delay fault *)
+          let slow =
+            { (clean_submit program) with P.fault = "kernel:delay=0.4" }
+          in
+          let slow_ticket =
+            match Client.submit c slow with
+            | Ok (P.Accepted { ticket }) -> ticket
+            | _ -> Alcotest.fail "slow submit not accepted"
+          in
+          let rec await_running () =
+            match Client.poll c slow_ticket with
+            | Ok (P.Pending { running = true; _ }) -> ()
+            | Ok (P.Pending { running = false; _ }) ->
+                Thread.delay 0.005;
+                await_running ()
+            | _ -> Alcotest.fail "unexpected poll reply while waiting"
+          in
+          await_running ();
+          let queued_ticket =
+            match Client.submit c (clean_submit program) with
+            | Ok (P.Accepted { ticket }) -> ticket
+            | _ -> Alcotest.fail "queued submit not accepted"
+          in
+          Server.stop t;
+          (match Client.wait c queued_ticket with
+          | Ok (Client.Failed { code; message }) ->
+              Alcotest.(check string) "error code" P.err_proto code;
+              Alcotest.(check string)
+                "shutdown message" "server shutting down" message
+          | _ -> Alcotest.fail "queued ticket lacks a terminal reply");
+          (* the solve that was already running still delivers *)
+          match Client.wait c slow_ticket with
+          | Ok (Client.Solved _) -> ()
+          | _ -> Alcotest.fail "running solve should still deliver"))
+
+(* Starting a second daemon on an in-use socket path must refuse, not
+   silently sever the first daemon's listener. *)
+let test_listen_refuses_live_socket () =
+  let path = Filename.temp_file "sfserved_live" ".sock" in
+  Sys.remove path;
+  with_server (fun t1 ->
+      let listener = Thread.create (fun () -> Server.listen_unix t1 ~path) () in
+      let rec await n =
+        if n = 0 then Alcotest.fail "first listener never came up"
+        else
+          match Client.connect_unix ~tenant:"probe" path with
+          | Ok c -> Client.close c
+          | Error _ ->
+              Thread.delay 0.01;
+              await (n - 1)
+      in
+      await 500;
+      with_server (fun t2 ->
+          match Server.listen_unix t2 ~path with
+          | () -> Alcotest.fail "second daemon bound over a live socket"
+          | exception Failure _ -> ());
+      (* the first daemon is still there, still serving *)
+      (match Client.connect_unix ~tenant:"probe2" path with
+      | Ok c -> Client.close c
+      | Error m -> Alcotest.failf "first daemon was severed: %s" m);
+      Server.stop t1;
+      Thread.join listener)
+
 (* ------------------------------------- standalone vs server, bitwise *)
 
 let bits_equal a b =
@@ -402,14 +565,19 @@ let test_pool_exit_regression () =
     in
     reap ()
   in
-  (* retry until the stolen-chunk schedule actually occurs *)
+  (* retry until the stolen-chunk schedule actually occurs; the pause
+     between attempts lets transient whole-machine load (e.g. a build
+     that just finished) subside, since a saturated machine can pin
+     every chunk to the main domain for many attempts in a row *)
   let rec go n =
     if n = 0 then
       Alcotest.fail "stolen-chunk schedule never occurred in 40 attempts"
     else
       match attempt () with
       | 3 -> ()
-      | 4 -> go (n - 1)
+      | 4 ->
+          Thread.delay 0.05;
+          go (n - 1)
       | n -> Alcotest.failf "unexpected pool_exit_check status %d" n
   in
   go 40
@@ -459,6 +627,14 @@ let () =
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "quotas" `Quick test_quotas;
           Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
+          Alcotest.test_case "dead client EPIPE" `Quick
+            test_dead_client_sigpipe;
+          Alcotest.test_case "disconnect reaps tickets" `Quick
+            test_disconnect_reaps_tickets;
+          Alcotest.test_case "stop rejects queued" `Quick
+            test_stop_rejects_queued;
+          Alcotest.test_case "live socket refusal" `Quick
+            test_listen_refuses_live_socket;
           Alcotest.test_case "bitwise vs standalone" `Quick
             test_bitwise_vs_standalone;
         ] );
