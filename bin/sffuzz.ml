@@ -9,7 +9,13 @@
    pool determinism, plan-certification cleanliness and SF011/NaN
    agreement alongside the differential loop.  --replay-dir re-runs a
    saved corpus instead of generating.  Exit status: 0 clean, 1 when any
-   divergence/oracle/replay failure, 2 on usage errors. *)
+   divergence/oracle/replay failure, 2 on usage errors.
+
+   --proto switches target: instead of differentiating backends, fuzz
+   the sfserved wire protocol (Sf_proto_fuzz) — mutated frames against
+   the pure decoders and a live in-process server, plus stateful
+   multi-tenant sessions.  Same exit contract; failures shrink to
+   replayable .pfz cases (--corpus-dir / --replay-dir). *)
 
 open Cmdliner
 
@@ -18,8 +24,56 @@ let comma_list s =
 
 let log quiet msg = if not quiet then Printf.printf "sffuzz: %s\n%!" msg
 
+(* A wedged server connection would otherwise hang the whole campaign;
+   the watchdog turns that into a loud bounded failure (the same idiom
+   the @serve tests use). *)
+let arm_watchdog seconds =
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay (float_of_int seconds);
+         prerr_endline "sffuzz: --proto watchdog expired (campaign wedged)";
+         exit 1)
+       ())
+
+let run_proto ~seed ~count ~sessions ~steps ~corpus_dir ~replay_dir ~watchdog
+    ~log =
+  arm_watchdog watchdog;
+  match replay_dir with
+  | Some dir ->
+      let files = Sf_proto_fuzz.Proto_fuzz.files dir in
+      if files = [] then begin
+        log (Printf.sprintf "no .pfz corpus files under %s" dir);
+        exit 0
+      end;
+      let failed = Sf_proto_fuzz.Proto_fuzz.replay_paths ~log files in
+      List.iter
+        (fun (path, e) -> Printf.printf "FAILURE (%s): %s\n%!" path e)
+        failed;
+      log
+        (Printf.sprintf "replayed %d protocol corpus file(s), %d failure(s)"
+           (List.length files) (List.length failed));
+      exit (if failed = [] then 0 else 1)
+  | None ->
+      let opts =
+        { Sf_proto_fuzz.Proto_fuzz.seed; count; sessions; steps; corpus_dir;
+          log }
+      in
+      let report = Sf_proto_fuzz.Proto_fuzz.run opts in
+      List.iter
+        (fun (f : Sf_proto_fuzz.Proto_fuzz.failure) ->
+          Printf.printf "FAILURE (%s): %s%s\n%!" f.what f.detail
+            (match f.corpus_file with
+            | Some p -> Printf.sprintf " [saved %s]" p
+            | None -> ""))
+        report.Sf_proto_fuzz.Proto_fuzz.failures;
+      exit (Sf_proto_fuzz.Proto_fuzz.report_exit_code report)
+
 let run seed count max_dims backend ulps atol shrink max_shrink_evals
-    corpus_dir oracles inject replay_dir quiet =
+    corpus_dir oracles inject replay_dir proto sessions steps watchdog quiet =
+  if proto then
+    run_proto ~seed ~count ~sessions ~steps ~corpus_dir ~replay_dir ~watchdog
+      ~log:(log quiet);
   let only =
     match backend with
     | "all" -> None
@@ -162,6 +216,18 @@ let inject_arg =
 let replay_arg =
   Arg.(value & opt (some string) None & info [ "replay-dir" ] ~doc:"Replay every .sfl corpus file under $(docv) instead of generating." ~docv:"DIR")
 
+let proto_arg =
+  Arg.(value & flag & info [ "proto" ] ~doc:"Fuzz the sfserved wire protocol instead of the backends: mutated frames against the decoders and a live server, plus stateful multi-tenant sessions.  --count is mutated frames; --corpus-dir/--replay-dir use .pfz cases.")
+
+let sessions_arg =
+  Arg.(value & opt int 8 & info [ "sessions" ] ~doc:"(--proto) Number of stateful multi-tenant fuzz sessions.")
+
+let steps_arg =
+  Arg.(value & opt int 16 & info [ "session-steps" ] ~doc:"(--proto) Randomized protocol steps per session.")
+
+let watchdog_arg =
+  Arg.(value & opt int 240 & info [ "watchdog" ] ~doc:"(--proto) Kill the campaign with exit 1 after $(docv) seconds (a wedged server must be a failure, not a hang)." ~docv:"SECONDS")
+
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
 
 let cmd =
@@ -171,6 +237,7 @@ let cmd =
     Term.(
       const run $ seed_arg $ count_arg $ max_dims_arg $ backend_arg $ ulps_arg
       $ atol_arg $ shrink_arg $ shrink_evals_arg $ corpus_arg $ oracles_arg
-      $ inject_arg $ replay_arg $ quiet_arg)
+      $ inject_arg $ replay_arg $ proto_arg $ sessions_arg $ steps_arg
+      $ watchdog_arg $ quiet_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -111,6 +111,8 @@ let run socket stdio threads workers queue max_inflight max_cells cell_budget
         };
       backend;
       workers;
+      max_workers = Server.default_config.Server.max_workers;
+      max_reps = Server.default_config.Server.max_reps;
       max_program_bytes = 1024 * 1024;
       allow_faults = not no_faults;
       allow_shutdown = not no_shutdown;

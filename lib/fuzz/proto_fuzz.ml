@@ -1,0 +1,1035 @@
+(* Protocol fuzzing for sfserved: the serve layer is the system's trust
+   boundary, and this module machine-checks its central property — no
+   hostile byte sequence can crash, hang, or cross-contaminate the
+   daemon.
+
+   Three layers:
+
+     frame campaign    Proto_gen mutants against the pure decoders
+                       (total: Ok/Error, never an exception) and, framed,
+                       against a live in-process server over a socketpair
+                       (every reply decodes; the server survives).
+
+     session campaign  a stateful fuzzer driving randomized request
+                       interleavings across three tenants — quota floods,
+                       foreign/unknown/claimed POLLs, HELLO replays,
+                       garbage frames, mid-frame disconnects — with
+                       invariants checked after every step and a
+                       bitwise-vs-standalone check on the clean tenant.
+
+     corpus            every failure is shrunk (bytes for frames, step
+                       count for sessions) and written as a replayable
+                       .pfz case, mirroring the .sfl triage workflow. *)
+
+open Snowflake
+module P = Sf_serve.Protocol
+module Server = Sf_serve.Server
+module Session = Sf_serve.Session
+module Gen = Sf_fuzz.Gen
+module Corpus = Sf_fuzz.Corpus
+module Jit = Sf_backends.Jit
+module Config = Sf_backends.Config
+module Json = Sf_trace.Json
+
+(* ---------------------------------------------------------------- hex *)
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let unhex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex line"
+  else
+    try
+      Ok
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with Failure _ -> Error "non-hex byte"
+
+(* ---------------------------------------------------- decoder totality *)
+
+(* The decoders' contract: any byte string yields Ok or Error — an
+   exception escaping either is exactly the crash class this fuzzer
+   exists to find. *)
+let decoder_crash s =
+  let one name f =
+    match f s with
+    | Ok _ | Error _ -> None
+    | exception e -> Some (Printf.sprintf "%s raised %s" name (Printexc.to_string e))
+  in
+  match one "decode_request" P.decode_request with
+  | Some _ as c -> c
+  | None -> one "decode_reply" P.decode_reply
+
+(* Greedy byte-span removal, ddmin style: halve the span size whenever a
+   full scan removes nothing.  The predicate is "still crashes". *)
+let shrink_frame ~crashes s =
+  let budget = ref 300 in
+  let try_keep s' = !budget > 0 && (decr budget; crashes s') in
+  let cur = ref s in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let chunk = ref (max 1 (String.length !cur / 2)) in
+    while !chunk >= 1 do
+      let pos = ref 0 in
+      while !pos < String.length !cur do
+        let c = !cur in
+        let len = String.length c in
+        let k = min !chunk (len - !pos) in
+        let candidate =
+          String.sub c 0 !pos ^ String.sub c (!pos + k) (len - !pos - k)
+        in
+        if String.length candidate < len && try_keep candidate then begin
+          cur := candidate;
+          progress := true
+        end
+        else pos := !pos + k
+      done;
+      chunk := !chunk / 2
+    done
+  done;
+  !cur
+
+(* ------------------------------------------------------------- timed I/O *)
+
+let rec wait_readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd timeout
+
+let read_reply_timeout ?(timeout = 10.) fd =
+  if wait_readable fd timeout then P.read_reply fd
+  else Error "timeout waiting for reply"
+
+(* ------------------------------------------------------- live frame feed *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let fuzz_config =
+  {
+    Server.default_config with
+    Server.threads = 2;
+    queue_cap = 8;
+    quota =
+      {
+        Session.max_inflight = 4;
+        max_cells = Session.default_quota.Session.max_cells;
+        cell_budget = max_int;
+      };
+    workers = 1;
+    max_workers = 8;
+    max_reps = 64;
+    allow_faults = false;
+    allow_shutdown = true;
+  }
+
+let feed_caps = P.cap_submit lor P.cap_poll lor P.cap_stats
+
+(* Write [frames] down one authenticated connection, half-close, and
+   require: the connection thread returns, every reply decodes, and the
+   first reply is the WELCOME.  Returns the replies after the WELCOME.
+   A frame here must announce exactly the bytes present (mutate_framed /
+   self-delimiting corpus lines), or the server's blocking frame read
+   would wait for bytes that never come. *)
+let feed_live t ~tenant frames =
+  let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let th = Thread.create (fun () -> try Server.serve_fd t s_fd with _ -> ()) () in
+  let result =
+    try
+      P.write_request c_fd
+        (P.Hello { version = P.version; tenant; caps = feed_caps });
+      List.iter (fun f -> P.write_frame c_fd f) frames;
+      (try Unix.shutdown c_fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error _ -> ());
+      Thread.join th;
+      close_quiet s_fd;
+      let rec drain acc =
+        match read_reply_timeout c_fd with
+        | Ok None -> Ok (List.rev acc)
+        | Ok (Some r) -> drain (r :: acc)
+        | Error m -> Error ("reply stream: " ^ m)
+      in
+      match drain [] with
+      | Error _ as e -> e
+      | Ok (P.Welcome _ :: replies) -> Ok replies
+      | Ok [] -> Error "no WELCOME before EOF"
+      | Ok (_ :: _) -> Error "first reply was not WELCOME"
+    with P.Closed -> Error "server hung up mid-feed"
+  in
+  close_quiet c_fd;
+  close_quiet s_fd;
+  result
+
+(* ------------------------------------------------------ session fuzzing *)
+
+(* Fixed well-formed programs for the stateful phase: the point here is
+   protocol state, not stencil diversity, and a small pool keeps the JIT
+   cache hot across sessions. *)
+let session_specs =
+  lazy (List.map (fun seed -> Gen.spec ~seed ()) [ 46; 47 ])
+
+let session_programs = lazy (List.map Corpus.to_string (Lazy.force session_specs))
+
+let reference_cache : (int * int, Sf_mesh.Grids.t) Hashtbl.t = Hashtbl.create 8
+
+(* Standalone run of spec [idx] at [workers], for the bitwise oracle.
+   Cached: the reference for a (spec, workers) pair never changes. *)
+let reference idx workers =
+  match Hashtbl.find_opt reference_cache (idx, workers) with
+  | Some g -> g
+  | None ->
+      let spec = List.nth (Lazy.force session_specs) idx in
+      let config = { Config.default with Config.workers } in
+      let kernel =
+        Jit.compile ~config Jit.Openmp ~shape:spec.Gen.shape spec.Gen.group
+      in
+      let grids = Gen.build_grids spec in
+      kernel.Sf_backends.Kernel.run ~params:spec.Gen.params grids;
+      Hashtbl.replace reference_cache (idx, workers) grids;
+      grids
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+let check_bitwise ~what (idx, workers) (grids : P.grid list) =
+  let reference = reference idx workers in
+  let names = Sf_mesh.Grids.names reference in
+  if List.length grids <> List.length names then
+    Error
+      (Printf.sprintf "%s: server returned %d grids, standalone has %d" what
+         (List.length grids) (List.length names))
+  else
+    List.fold_left
+      (fun acc (g : P.grid) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let m = Sf_mesh.Grids.find reference g.P.gname in
+            let fa = Sf_mesh.Mesh.data m in
+            let local =
+              Array.init (Float.Array.length fa) (Float.Array.get fa)
+            in
+            if bits_equal local g.P.gdata then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "%s: grid %s differs bitwise from the standalone run" what
+                   g.P.gname))
+      (Ok ()) grids
+
+type conn = {
+  tenant : string;
+  caps : int;
+  mutable fd : Unix.file_descr option;
+  mutable sfd : Unix.file_descr option;
+  mutable thread : Thread.t option;
+  (* outstanding tickets; [Some (spec_idx, workers)] when the submit was
+     a known clean program whose result the bitwise oracle can check *)
+  mutable tickets : (int * (int * int) option) list;
+}
+
+let fresh_conn ~tenant ~caps =
+  { tenant; caps; fd = None; sfd = None; thread = None; tickets = [] }
+
+let disconnect conn =
+  Option.iter close_quiet conn.fd;
+  conn.fd <- None;
+  Option.iter Thread.join conn.thread;
+  conn.thread <- None;
+  Option.iter close_quiet conn.sfd;
+  conn.sfd <- None;
+  conn.tickets <- []
+
+let connect t conn =
+  let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let th = Thread.create (fun () -> try Server.serve_fd t s_fd with _ -> ()) () in
+  P.write_request c_fd
+    (P.Hello { version = P.version; tenant = conn.tenant; caps = conn.caps });
+  match read_reply_timeout c_fd with
+  | Ok (Some (P.Welcome _)) ->
+      conn.fd <- Some c_fd;
+      conn.sfd <- Some s_fd;
+      conn.thread <- Some th;
+      Ok ()
+  | other ->
+      close_quiet c_fd;
+      close_quiet s_fd;
+      Error
+        (Printf.sprintf "handshake for %s failed: %s" conn.tenant
+           (match other with
+           | Ok None -> "EOF"
+           | Error m -> m
+           | _ -> "unexpected reply"))
+
+let ensure_connected t conn =
+  match conn.fd with Some fd -> Ok fd | None -> (
+    match connect t conn with
+    | Ok () -> Ok (Option.get conn.fd)
+    | Error _ as e -> e)
+
+let ( let* ) = Result.bind
+
+let roundtrip fd req =
+  match P.write_request fd req with
+  | () -> (
+      match read_reply_timeout fd with
+      | Ok (Some r) -> Ok r
+      | Ok None -> Error "server closed the connection"
+      | Error m -> Error m)
+  | exception P.Closed -> Error "connection closed by server"
+
+let is_quota code =
+  String.length code >= 5 && String.sub code 0 5 = "quota"
+
+(* One randomized step against one tenant's connection.  Every arm ends
+   by asserting the reply the protocol contract promises. *)
+type step_kind =
+  | Submit_ok
+  | Submit_bad
+  | Submit_huge
+  | Poll_own
+  | Poll_foreign
+  | Poll_unknown
+  | Hello_replay
+  | Garbage
+  | Midframe_disconnect
+  | Stats_check
+
+let hostile_steps =
+  [
+    Submit_ok; Submit_ok; Poll_own; Poll_own; Submit_bad; Submit_huge;
+    Poll_foreign; Poll_unknown; Hello_replay; Garbage; Garbage;
+    Midframe_disconnect; Stats_check;
+  ]
+
+let victim_steps = [ Submit_ok; Submit_ok; Poll_own; Poll_own; Stats_check ]
+
+let step_name = function
+  | Submit_ok -> "submit-ok"
+  | Submit_bad -> "submit-bad"
+  | Submit_huge -> "submit-huge"
+  | Poll_own -> "poll-own"
+  | Poll_foreign -> "poll-foreign"
+  | Poll_unknown -> "poll-unknown"
+  | Hello_replay -> "hello-replay"
+  | Garbage -> "garbage"
+  | Midframe_disconnect -> "midframe-disconnect"
+  | Stats_check -> "stats"
+
+let clean_submit ?(workers = 1) program =
+  { P.program; backend = ""; workers; reps = 1; fault = "" }
+
+let parse_stats json =
+  match Json.of_string json with
+  | Error m -> Error ("STATS unparseable: " ^ m)
+  | Ok doc -> Ok doc
+
+let stats_num path doc =
+  match
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some doc) path
+  with
+  | Some (Json.Num v) -> Some v
+  | _ -> None
+
+let do_poll conn fd ticket known ~claim =
+  match roundtrip fd (P.Poll { ticket }) with
+  | Error m -> Error (Printf.sprintf "poll %d: %s" ticket m)
+  | Ok (P.Pending _) -> Ok ()
+  | Ok (P.Result { ticket = tk; grids; _ }) when tk = ticket ->
+      if claim then
+        conn.tickets <- List.remove_assoc ticket conn.tickets;
+      (match known with
+      | Some key -> check_bitwise ~what:(conn.tenant) key grids
+      | None -> Ok ())
+  | Ok (P.Rejected { code; message; _ }) ->
+      (* a clean in-session solve must never fail; garbage-born tickets
+         (unknown spec) may end any way the server likes *)
+      if claim then conn.tickets <- List.remove_assoc ticket conn.tickets;
+      if known = None then Ok ()
+      else
+        Error
+          (Printf.sprintf "clean ticket %d rejected %s: %s" ticket code message)
+  | Ok _ -> Error (Printf.sprintf "poll %d: unexpected reply" ticket)
+
+let run_step t r conns i kind =
+  let conn = conns.(i) in
+  let programs = Lazy.force session_programs in
+  match kind with
+  | Submit_ok ->
+      let* fd = ensure_connected t conn in
+      if List.length conn.tickets >= 6 then Ok ()
+      else
+        let idx = Random.State.int r (List.length programs) in
+        let workers = 1 + Random.State.int r 2 in
+        let program = List.nth programs idx in
+        let* reply = roundtrip fd (P.Submit (clean_submit ~workers program)) in
+        (match reply with
+        | P.Accepted { ticket } ->
+            conn.tickets <- (ticket, Some (idx, workers)) :: conn.tickets;
+            Ok ()
+        | P.Busy _ -> Ok ()
+        | P.Rejected { code; _ } when is_quota code -> Ok ()
+        | P.Rejected { code; message; _ } ->
+            Error (Printf.sprintf "clean submit rejected %s: %s" code message)
+        | _ -> Error "clean submit: unexpected reply")
+  | Submit_bad ->
+      let* fd = ensure_connected t conn in
+      let* reply =
+        roundtrip fd
+          (P.Submit
+             { P.program = "this is not a program"; backend = ""; workers = 1;
+               reps = 1; fault = "" })
+      in
+      (match reply with
+      | P.Rejected { code; _ } when code = P.err_parse -> Ok ()
+      | P.Rejected { code; _ } ->
+          Error (Printf.sprintf "bad program rejected with %s, want parse" code)
+      | _ -> Error "bad program was not rejected")
+  | Submit_huge ->
+      let* fd = ensure_connected t conn in
+      let program = List.nth programs 0 in
+      let huge =
+        if Random.State.bool r then
+          { (clean_submit program) with P.workers = 0xFFFF_FFFF }
+        else { (clean_submit program) with P.reps = 0xFFFF_FFFF }
+      in
+      let* reply = roundtrip fd (P.Submit huge) in
+      (match reply with
+      | P.Rejected { code; _ } when code = P.err_parse -> Ok ()
+      | P.Rejected { code; _ } ->
+          Error
+            (Printf.sprintf "4-billion-unit submit rejected with %s, want parse"
+               code)
+      | P.Accepted _ -> Error "4-billion-unit submit was admitted"
+      | _ -> Error "huge submit: unexpected reply")
+  | Poll_own -> (
+      match conn.tickets with
+      | [] -> Ok ()
+      | tickets ->
+          let* fd = ensure_connected t conn in
+          let ticket, known =
+            List.nth tickets (Random.State.int r (List.length tickets))
+          in
+          do_poll conn fd ticket known ~claim:true)
+  | Poll_foreign -> (
+      (* a ticket that provably belongs to someone else must be REJECTED
+         and must stay claimable by its owner *)
+      let foreign =
+        Array.to_list conns
+        |> List.concat_map (fun c ->
+               if c.tenant = conn.tenant then []
+               else List.map (fun (tk, _) -> tk) c.tickets)
+      in
+      match foreign with
+      | [] -> Ok ()
+      | tks ->
+          let* fd = ensure_connected t conn in
+          let ticket = List.nth tks (Random.State.int r (List.length tks)) in
+          let* reply = roundtrip fd (P.Poll { ticket }) in
+          (match reply with
+          | P.Rejected { code; _ } when code = P.err_proto -> Ok ()
+          | P.Rejected { code; _ } ->
+              Error (Printf.sprintf "foreign poll rejected with %s, want proto" code)
+          | P.Result _ -> Error "cross-tenant leak: got another tenant's result"
+          | P.Pending _ -> Error "cross-tenant leak: got another tenant's status"
+          | _ -> Error "foreign poll: unexpected reply"))
+  | Poll_unknown ->
+      let* fd = ensure_connected t conn in
+      let ticket = 10_000_000 + Random.State.int r 1000 in
+      let* reply = roundtrip fd (P.Poll { ticket }) in
+      (match reply with
+      | P.Rejected { code; _ } when code = P.err_proto -> Ok ()
+      | _ -> Error "unknown ticket was not proto-rejected")
+  | Hello_replay ->
+      let* fd = ensure_connected t conn in
+      let* reply =
+        roundtrip fd
+          (P.Hello { version = P.version; tenant = conn.tenant; caps = conn.caps })
+      in
+      (match reply with
+      | P.Rejected { code; _ } when code = P.err_proto -> Ok ()
+      | _ -> Error "HELLO replay was not proto-rejected")
+  | Garbage ->
+      let* fd = ensure_connected t conn in
+      let base = Proto_gen.encode (Proto_gen.Req (Proto_gen.gen_request r)) in
+      let m, mutant = Proto_gen.mutate_framed r ~other:(Proto_gen.gen_frame r) base in
+      (match P.write_frame fd mutant with
+      | exception P.Closed -> Error "server hung up on a garbage frame"
+      | () -> (
+          match read_reply_timeout fd with
+          | Ok (Some _) ->
+              (* the server answers every frame, but an undecodable one
+                 is connection-level: the reply arrives and the
+                 connection closes (and its tickets are reaped).  Model
+                 that by dropping the connection ourselves — whichever
+                 side of the ambiguity the mutant landed on, a
+                 disconnect is legal and keeps client and server ticket
+                 views consistent. *)
+              disconnect conn;
+              Ok ()
+          | Ok None ->
+              Error
+                (Printf.sprintf "no reply to %s garbage before close"
+                   (Proto_gen.mutation_name m))
+          | Error msg ->
+              Error
+                (Printf.sprintf "%s garbage: %s" (Proto_gen.mutation_name m) msg)))
+  | Midframe_disconnect -> (
+      match ensure_connected t conn with
+      | Error _ as e -> e
+      | Ok fd ->
+          let frame = Proto_gen.encode (Proto_gen.Req (Proto_gen.gen_request r)) in
+          (* cut inside the length prefix sometimes, inside the payload
+             otherwise: both server-side EOF paths get exercised *)
+          let cut =
+            if Random.State.bool r then 1 + Random.State.int r 3
+            else 4 + Random.State.int r (max 1 (String.length frame - 4))
+          in
+          let cut = min cut (String.length frame - 1) in
+          (try P.write_frame fd (String.sub frame 0 cut) with P.Closed -> ());
+          disconnect conn;
+          Ok ())
+  | Stats_check ->
+      let* fd = ensure_connected t conn in
+      let* reply = roundtrip fd P.Stats in
+      (match reply with
+      | P.Stats_reply { json } ->
+          let* doc = parse_stats json in
+          (match stats_num [ "queue"; "tickets" ] doc with
+          | Some v when v >= 0. -> Ok ()
+          | Some _ -> Error "STATS queue.tickets negative"
+          | None -> Error "STATS missing queue.tickets")
+      | _ -> Error "STATS did not answer")
+
+(* Claim every outstanding ticket; the per-session deadline turns a
+   wedged executor into a failure instead of a hang. *)
+let drain_conn t conn ~deadline =
+  let rec go () =
+    match conn.tickets with
+    | [] -> Ok ()
+    | (ticket, known) :: _ ->
+        if Unix.gettimeofday () > deadline then
+          Error (Printf.sprintf "ticket %d never reached a terminal state" ticket)
+        else
+          let* fd = ensure_connected t conn in
+          let* () = do_poll conn fd ticket known ~claim:true in
+          if List.mem_assoc ticket conn.tickets then Thread.delay 0.002;
+          go ()
+  in
+  go ()
+
+(* Tenant names carry a per-invocation generation: the [Session]
+   registry is process-global, so replaying a failed session under the
+   same names would inherit its quota counters and change behavior. *)
+let session_generation = ref 0
+
+let run_session ~seed ~steps ~log () =
+  let r = Proto_gen.rng (seed lxor 0x5e55) in
+  let t = Server.create ~config:fuzz_config () in
+  incr session_generation;
+  let gen = !session_generation in
+  let caps = P.cap_submit lor P.cap_poll lor P.cap_stats in
+  let name i =
+    Printf.sprintf "pf%d.%d-%c" seed gen (Char.chr (Char.code 'a' + i))
+  in
+  let conns =
+    [|
+      fresh_conn ~tenant:(name 0) ~caps (* the clean tenant *);
+      fresh_conn ~tenant:(name 1) ~caps;
+      fresh_conn ~tenant:(name 2) ~caps;
+    |]
+  in
+  let trace = ref [] in
+  let fail_at step detail =
+    let recent =
+      !trace |> List.filteri (fun i _ -> i < 12) |> List.rev
+      |> String.concat " -> "
+    in
+    Error
+      (Printf.sprintf "session seed=%d step %d: %s (trace: %s)" seed step
+         detail recent)
+  in
+  let result =
+    let rec steps_loop i =
+      if i >= steps then Ok ()
+      else
+        let ci = Random.State.int r (Array.length conns) in
+        let kind =
+          let pool = if ci = 0 then victim_steps else hostile_steps in
+          List.nth pool (Random.State.int r (List.length pool))
+        in
+        trace := Printf.sprintf "%s:%s" conns.(ci).tenant (step_name kind) :: !trace;
+        match run_step t r conns ci kind with
+        | Error m -> fail_at i m
+        | Ok () ->
+            if Server.stopped t then fail_at i "server stopped mid-session"
+            else steps_loop (i + 1)
+    in
+    let* () = steps_loop 0 in
+    (* drain: every outstanding ticket reaches a terminal state *)
+    let deadline = Unix.gettimeofday () +. 30. in
+    let* () =
+      Array.to_list conns
+      |> List.fold_left
+           (fun acc c ->
+             let* () = acc in
+             drain_conn t c ~deadline)
+           (Ok ())
+    in
+    (* the clean tenant is unharmed: one more solve, checked bitwise *)
+    let* () =
+      let c = conns.(0) in
+      let* fd = ensure_connected t c in
+      let program = List.nth (Lazy.force session_programs) 0 in
+      match roundtrip fd (P.Submit (clean_submit ~workers:1 program)) with
+      | Ok (P.Accepted { ticket }) ->
+          c.tickets <- (ticket, Some (0, 1)) :: c.tickets;
+          drain_conn t c ~deadline:(Unix.gettimeofday () +. 20.)
+      | Ok (P.Busy _) -> Ok () (* queue full of nothing? cannot happen post-drain *)
+      | Ok (P.Rejected { code; message; _ }) ->
+          Error (Printf.sprintf "final clean solve rejected %s: %s" code message)
+      | Ok _ -> Error "final clean solve: unexpected reply"
+      | Error m -> Error ("final clean solve: " ^ m)
+    in
+    Array.iter disconnect conns;
+    (* audit: with every connection gone, no tickets may survive *)
+    let auditor = fresh_conn ~tenant:(name 0 ^ "-audit") ~caps in
+    let* fd = ensure_connected t auditor in
+    let* reply = roundtrip fd P.Stats in
+    let* () =
+      match reply with
+      | P.Stats_reply { json } ->
+          let* doc = parse_stats json in
+          (match stats_num [ "queue"; "tickets" ] doc with
+          | Some v when v = 0. -> Ok ()
+          | Some v ->
+              Error
+                (Printf.sprintf
+                   "%g ticket(s) leaked past disconnect reaping" v)
+          | None -> Error "STATS missing queue.tickets")
+      | _ -> Error "audit STATS did not answer"
+    in
+    disconnect auditor;
+    (* shutdown race: two capability-bearing connections both demand
+       SHUTDOWN; each must get BYE (stop is idempotent), and a tenant
+       arriving after must be turned away, not wedged *)
+    let shut_caps = caps lor P.cap_shutdown in
+    let s1 = fresh_conn ~tenant:(name 1 ^ "-shut") ~caps:shut_caps in
+    let s2 = fresh_conn ~tenant:(name 2 ^ "-shut") ~caps:shut_caps in
+    let* fd1 = ensure_connected t s1 in
+    let* fd2 = ensure_connected t s2 in
+    P.write_request fd1 P.Shutdown;
+    P.write_request fd2 P.Shutdown;
+    let bye what fd =
+      match read_reply_timeout fd with
+      | Ok (Some P.Bye) -> Ok ()
+      | Ok (Some (P.Rejected { message; _ })) ->
+          Error (Printf.sprintf "%s: shutdown rejected: %s" what message)
+      | Ok (Some _) -> Error (what ^ ": unexpected reply to SHUTDOWN")
+      | Ok None -> Error (what ^ ": EOF instead of BYE")
+      | Error m -> Error (what ^ ": " ^ m)
+    in
+    let* () = bye "first shutdown" fd1 in
+    let* () = bye "second shutdown" fd2 in
+    disconnect s1;
+    disconnect s2;
+    let late = fresh_conn ~tenant:(name 0 ^ "-late") ~caps in
+    let* fd = ensure_connected t late in
+    let program = List.nth (Lazy.force session_programs) 0 in
+    let* reply = roundtrip fd (P.Submit (clean_submit program)) in
+    let* () =
+      match reply with
+      | P.Rejected { code; _ } when code = P.err_proto -> Ok ()
+      | P.Accepted _ -> Error "submit admitted after SHUTDOWN"
+      | _ -> Error "post-shutdown submit: unexpected reply"
+    in
+    disconnect late;
+    Ok ()
+  in
+  Array.iter disconnect conns;
+  Server.stop t;
+  Server.join t;
+  (match result with
+  | Ok () -> log (Printf.sprintf "session seed=%d: %d steps clean" seed steps)
+  | Error _ -> ());
+  result
+
+(* --------------------------------------------------------------- corpus *)
+
+let magic = "; sfproto "
+
+type case =
+  | Frames of { frames : string list; expect : string option }
+  | Session_case of { seed : int; steps : int }
+
+let case_to_string ?(note = "") case =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "; sfproto: protocol-fuzz corpus case -- replayable against sfserved\n";
+  Buffer.add_string b
+    "; (replay: dune exec bin/sffuzz.exe -- --proto --replay-dir <dir>; \
+     docs/TESTING.md)\n";
+  String.split_on_char '\n' note
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           Buffer.add_string b ("; note: " ^ line ^ "\n"));
+  let meta parts =
+    Buffer.add_string b (magic ^ Sexp.to_string (Sexp.list parts) ^ "\n")
+  in
+  meta [ Sexp.atom "v"; Sexp.int 1 ];
+  (match case with
+  | Frames { frames; expect } ->
+      meta [ Sexp.atom "kind"; Sexp.atom "frame" ];
+      Option.iter (fun c -> meta [ Sexp.atom "expect"; Sexp.atom c ]) expect;
+      List.iter (fun f -> Buffer.add_string b (hex f ^ "\n")) frames
+  | Session_case { seed; steps } ->
+      meta [ Sexp.atom "kind"; Sexp.atom "session" ];
+      meta [ Sexp.atom "seed"; Sexp.int seed ];
+      meta [ Sexp.atom "steps"; Sexp.int steps ]);
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir ~label ?note case =
+  mkdir_p dir;
+  let base = Filename.concat dir label in
+  let rec pick k =
+    let path =
+      if k = 1 then base ^ ".pfz" else Printf.sprintf "%s-%d.pfz" base k
+    in
+    if Sys.file_exists path then pick (k + 1) else path
+  in
+  let path = pick 1 in
+  let oc = open_out path in
+  output_string oc (case_to_string ?note case);
+  close_out oc;
+  path
+
+let ( let* ) = Result.bind
+
+let case_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let is_meta line =
+    String.length line >= String.length magic
+    && String.sub line 0 (String.length magic) = magic
+  in
+  let metas, frames =
+    List.fold_left
+      (fun (metas, frames) raw ->
+        let line = String.trim raw in
+        if line = "" || (String.length line > 0 && line.[0] = ';' && not (is_meta line))
+        then (metas, frames)
+        else if is_meta line then
+          ( Sexp.parse
+              (String.trim
+                 (String.sub line (String.length magic)
+                    (String.length line - String.length magic)))
+            :: metas,
+            frames )
+        else (metas, line :: frames))
+      ([], []) lines
+  in
+  let metas = List.rev metas and frames = List.rev frames in
+  let* metas =
+    List.fold_right
+      (fun m acc ->
+        let* acc = acc in
+        let* m = m in
+        Ok (m :: acc))
+      metas (Ok [])
+  in
+  let kind = ref "frame" in
+  let seed = ref 0 in
+  let steps = ref 0 in
+  let expect = ref None in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        let* () = acc in
+        match m with
+        | Sexp.List (Sexp.Atom "v" :: _) -> Ok ()
+        | Sexp.List [ Sexp.Atom "kind"; Sexp.Atom k ] ->
+            kind := k;
+            Ok ()
+        | Sexp.List [ Sexp.Atom "seed"; s ] ->
+            let* v = Sexp.as_int s in
+            seed := v;
+            Ok ()
+        | Sexp.List [ Sexp.Atom "steps"; s ] ->
+            let* v = Sexp.as_int s in
+            steps := v;
+            Ok ()
+        | Sexp.List [ Sexp.Atom "expect"; Sexp.Atom c ] ->
+            expect := Some c;
+            Ok ()
+        | other ->
+            Error
+              (Printf.sprintf "unrecognised sfproto metadata: %s"
+                 (Sexp.to_string other)))
+      (Ok ()) metas
+  in
+  match !kind with
+  | "frame" ->
+      let* frames =
+        List.fold_right
+          (fun line acc ->
+            let* acc = acc in
+            let* f = unhex line in
+            Ok (f :: acc))
+          frames (Ok [])
+      in
+      if frames = [] then Error "frame case carries no hex frames"
+      else Ok (Frames { frames; expect = !expect })
+  | "session" ->
+      if !steps <= 0 then Error "session case carries no step count"
+      else Ok (Session_case { seed = !seed; steps = !steps })
+  | k -> Error (Printf.sprintf "unknown sfproto case kind %S" k)
+
+let load path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match case_of_string text with
+  | Ok c -> Ok c
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pfz")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  else []
+
+(* A frame announces exactly the bytes present iff its prefix matches;
+   only those may be written to a live server (see feed_live). *)
+let self_delimiting f =
+  String.length f >= 5
+  && Int32.to_int (String.get_int32_be f 0) land 0xFFFF_FFFF
+     = String.length f - 4
+
+let replay_case ~log path case =
+  match case with
+  | Session_case { seed; steps } -> (
+      match run_session ~seed ~steps ~log () with
+      | Ok () -> Ok ()
+      | Error m -> Error m)
+  | Frames { frames; expect } -> (
+      (* layer 1: the pure decoders are total on every recorded frame *)
+      let crash =
+        List.fold_left
+          (fun acc f -> match acc with Some _ -> acc | None -> decoder_crash f)
+          None frames
+      in
+      match crash with
+      | Some m -> Error m
+      | None -> (
+          (* layer 2: a live server survives the self-delimiting ones *)
+          let live = List.filter self_delimiting frames in
+          if live = [] then Ok ()
+          else
+            let t = Server.create ~config:fuzz_config () in
+            let finish r =
+              Server.stop t;
+              Server.join t;
+              r
+            in
+            match feed_live t ~tenant:("replay-" ^ Filename.basename path) live with
+            | Error m -> finish (Error ("live replay: " ^ m))
+            | Ok replies -> (
+                let survived =
+                  match feed_live t ~tenant:"replay-probe" [] with
+                  | Ok _ -> Ok ()
+                  | Error m -> Error ("server did not survive replay: " ^ m)
+                in
+                match (survived, expect) with
+                | (Error _ as e), _ -> finish e
+                | Ok (), None -> finish (Ok ())
+                | Ok (), Some code ->
+                    let saw =
+                      List.exists
+                        (function
+                          | P.Rejected { code = c; _ } -> c = code
+                          | _ -> false)
+                        replies
+                    in
+                    if saw then finish (Ok ())
+                    else
+                      finish
+                        (Error
+                           (Printf.sprintf
+                              "no REJECTED with code %S among %d replies" code
+                              (List.length replies))))))
+
+let replay_paths ?(log = ignore) paths =
+  List.filter_map
+    (fun path ->
+      let outcome =
+        match load path with
+        | Error e -> Error e
+        | Ok case -> replay_case ~log path case
+      in
+      match outcome with
+      | Ok () ->
+          log (Printf.sprintf "replayed %s: ok" path);
+          None
+      | Error e ->
+          log (Printf.sprintf "replay FAILED: %s: %s" path e);
+          Some (path, e))
+    paths
+
+(* -------------------------------------------------------------- campaign *)
+
+type options = {
+  seed : int;
+  count : int;
+  sessions : int;
+  steps : int;
+  corpus_dir : string option;
+  log : string -> unit;
+}
+
+let default_options =
+  { seed = 42; count = 200; sessions = 8; steps = 16; corpus_dir = None; log = ignore }
+
+type failure = { what : string; detail : string; corpus_file : string option }
+
+type report = {
+  frames_tested : int;
+  sessions_tested : int;
+  failures : failure list;
+}
+
+let report_exit_code r = if r.failures = [] then 0 else 1
+
+let run opts =
+  let failures = ref [] in
+  let record ?corpus_file what detail =
+    opts.log (Printf.sprintf "FAILURE %s: %s" what detail);
+    failures := { what; detail; corpus_file } :: !failures
+  in
+  (* ---- frame campaign: pure decoders + live feed ---- *)
+  let t = Server.create ~config:fuzz_config () in
+  for i = 0 to opts.count - 1 do
+    let r = Proto_gen.rng (opts.seed + i) in
+    let msg = Proto_gen.gen_message r in
+    let frame = Proto_gen.encode msg in
+    (* the unmutated frame must round-trip byte-for-byte *)
+    (let reencoded =
+       match msg with
+       | Proto_gen.Req _ ->
+           Result.map P.encode_request (P.decode_request frame)
+       | Proto_gen.Rep _ -> Result.map P.encode_reply (P.decode_reply frame)
+     in
+     match reencoded with
+     | Ok bytes when bytes = frame -> ()
+     | Ok _ ->
+         record
+           (Printf.sprintf "roundtrip seed=%d" (opts.seed + i))
+           "decode/encode changed the bytes"
+     | Error m ->
+         record
+           (Printf.sprintf "roundtrip seed=%d" (opts.seed + i))
+           ("valid frame did not decode: " ^ m));
+    (* a mutant may do anything except raise *)
+    let mname, mutant = Proto_gen.mutate r ~other:(Proto_gen.gen_frame r) frame in
+    (match decoder_crash mutant with
+    | None -> ()
+    | Some detail ->
+        let crashes s = decoder_crash s <> None in
+        let minimised = shrink_frame ~crashes mutant in
+        let corpus_file =
+          Option.map
+            (fun dir ->
+              save ~dir
+                ~label:
+                  (Printf.sprintf "decode-%s-%d"
+                     (Proto_gen.mutation_name mname) (opts.seed + i))
+                ~note:detail
+                (Frames { frames = [ minimised ]; expect = None }))
+            opts.corpus_dir
+        in
+        record ?corpus_file
+          (Printf.sprintf "decoder:%s seed=%d" (Proto_gen.mutation_name mname)
+             (opts.seed + i))
+          (Printf.sprintf "%s (shrunk %d -> %d bytes)" detail
+             (String.length mutant)
+             (String.length minimised)));
+    (* framed variant against the live server *)
+    let fname, framed = Proto_gen.mutate_framed r ~other:(Proto_gen.gen_frame r) frame in
+    (match feed_live t ~tenant:(Printf.sprintf "pframe%d" (opts.seed + i)) [ framed ] with
+    | Ok _ -> ()
+    | Error detail ->
+        let corpus_file =
+          Option.map
+            (fun dir ->
+              save ~dir
+                ~label:
+                  (Printf.sprintf "live-%s-%d" (Proto_gen.mutation_name fname)
+                     (opts.seed + i))
+                ~note:detail
+                (Frames { frames = [ framed ]; expect = None }))
+            opts.corpus_dir
+        in
+        record ?corpus_file
+          (Printf.sprintf "live:%s seed=%d" (Proto_gen.mutation_name fname)
+             (opts.seed + i))
+          detail);
+    if (i + 1) mod 50 = 0 then
+      opts.log
+        (Printf.sprintf "%d/%d frames, %d failure(s)" (i + 1) opts.count
+           (List.length !failures))
+  done;
+  (* the frame campaign's server must still be standing *)
+  (match feed_live t ~tenant:"post-campaign-probe" [] with
+  | Ok _ -> ()
+  | Error m -> record "frame-campaign" ("server did not survive: " ^ m));
+  Server.stop t;
+  Server.join t;
+  (* ---- stateful sessions ---- *)
+  for j = 0 to opts.sessions - 1 do
+    let seed = (opts.seed * 1000) + j in
+    match run_session ~seed ~steps:opts.steps ~log:opts.log () with
+    | Ok () -> ()
+    | Error detail ->
+        (* shrink by step count: the rng is deterministic in (seed, step
+           index), so a shorter prefix replays the same interleaving *)
+        let fails n = Result.is_error (run_session ~seed ~steps:n ~log:ignore ()) in
+        let rec shrink_steps best candidate =
+          if candidate < 1 then best
+          else if fails candidate then shrink_steps candidate (candidate / 2)
+          else best
+        in
+        let minimal = shrink_steps opts.steps (opts.steps / 2) in
+        let corpus_file =
+          Option.map
+            (fun dir ->
+              save ~dir
+                ~label:(Printf.sprintf "session-%d" seed)
+                ~note:detail
+                (Session_case { seed; steps = minimal }))
+            opts.corpus_dir
+        in
+        record ?corpus_file (Printf.sprintf "session seed=%d" seed) detail
+  done;
+  opts.log
+    (Printf.sprintf "%d frame(s), %d session(s), %d failure(s)" opts.count
+       opts.sessions
+       (List.length !failures));
+  { frames_tested = opts.count; sessions_tested = opts.sessions;
+    failures = List.rev !failures }

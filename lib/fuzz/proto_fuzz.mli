@@ -1,0 +1,88 @@
+(** The protocol-fuzz campaign driver behind [sffuzz --proto].
+
+    Three layers, sharing {!Proto_gen}'s deterministic mutants:
+
+    - {b frame campaign}: every generated valid frame must round-trip
+      byte-for-byte through decode/encode; every mutant may decode or
+      be rejected but must never raise out of
+      {!Sf_serve.Protocol.decode_request} / [decode_reply]; and the
+      self-delimiting mutants are additionally written down a live
+      in-process server connection, whose every reply must decode and
+      whose server must survive the whole campaign.
+    - {b session campaign}: randomized request interleavings across
+      three tenants of one live server (quota floods, foreign and
+      unknown POLLs, HELLO replays, garbage frames, mid-frame
+      disconnects), with invariants checked after every step, a drain +
+      leak audit + bitwise-vs-standalone check on the clean tenant, and
+      a double-SHUTDOWN race at the end.
+    - {b corpus}: failures are shrunk (bytes for frames, step count for
+      sessions) and saved as replayable [.pfz] cases.
+
+    Everything is deterministic in the seed. *)
+
+type options = {
+  seed : int;
+  count : int;  (** mutated frames in the frame campaign *)
+  sessions : int;  (** stateful sessions *)
+  steps : int;  (** randomized steps per session *)
+  corpus_dir : string option;  (** where failures are written as [.pfz] *)
+  log : string -> unit;
+}
+
+val default_options : options
+(** seed 42, 200 frames, 8 sessions of 16 steps, no corpus, silent. *)
+
+type failure = {
+  what : string;  (** which layer and seed, e.g. ["decoder:tag-flip seed=57"] *)
+  detail : string;
+  corpus_file : string option;  (** the saved [.pfz], when a dir was given *)
+}
+
+type report = {
+  frames_tested : int;
+  sessions_tested : int;
+  failures : failure list;
+}
+
+val run : options -> report
+
+val report_exit_code : report -> int
+(** [0] when no failures, [1] otherwise (the sffuzz contract). *)
+
+val run_session :
+  seed:int -> steps:int -> log:(string -> unit) -> unit -> (unit, string) result
+(** One stateful session against a fresh in-process server; [Error]
+    carries the failed invariant plus a step trace. *)
+
+(** {2 Corpus}
+
+    A [.pfz] file is hex frames plus [; sfproto (...)] metadata lines —
+    same shape as the [.sfl] fuzz corpus, same triage workflow
+    (docs/TESTING.md). *)
+
+type case =
+  | Frames of {
+      frames : string list;
+      expect : string option;
+          (** when set, a live replay must produce at least one REJECTED
+              with this code *)
+    }
+  | Session_case of { seed : int; steps : int }
+
+val case_to_string : ?note:string -> case -> string
+val case_of_string : string -> (case, string) result
+
+val save : dir:string -> label:string -> ?note:string -> case -> string
+(** Write a case under a fresh [label{,-k}.pfz] name; returns the path. *)
+
+val load : string -> (case, string) result
+
+val files : string -> string list
+(** The [.pfz] files under a directory, sorted. *)
+
+val replay_paths :
+  ?log:(string -> unit) -> string list -> (string * string) list
+(** Replay corpus cases; returns the (path, error) pairs that failed.
+    Frame cases run the pure decoders over every recorded frame and feed
+    the self-delimiting ones to a live server; session cases re-run the
+    recorded (seed, steps). *)

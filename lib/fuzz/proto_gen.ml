@@ -1,0 +1,229 @@
+(* Structure-aware generation and mutation of sfserved wire frames.
+
+   Valid frames come from Protocol.encode_* over randomized messages, so
+   every mutant starts one edit away from a well-formed frame — the
+   decoder's interesting paths (length checks, string bounds, grid
+   loops) are all guarded by fields a blind bit-flipper would almost
+   never hit coherently.  Mutations then lie about exactly one of those
+   guards at a time. *)
+
+module P = Sf_serve.Protocol
+
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| 0x5f70726f; 0x746f5f5f; seed |]
+
+let pick r xs = List.nth xs (Random.State.int r (List.length xs))
+
+(* u32 boundary values: the ones that trip off-by-ones, sign confusion
+   and limit checks.  Random small values keep the mix honest. *)
+let gen_u32 r =
+  pick r
+    [
+      0;
+      1;
+      2;
+      255;
+      256;
+      65535;
+      0x7FFF_FFFF;
+      0x8000_0000;
+      0xFFFF_FFFE;
+      0xFFFF_FFFF;
+      Random.State.int r 10_000;
+    ]
+
+let gen_small r n = Random.State.int r n
+
+(* Strings the decoder must survive: empty, plain, embedded NULs and
+   newlines, high bytes, and the occasional long run. *)
+let gen_string r =
+  match gen_small r 6 with
+  | 0 -> ""
+  | 1 -> "t" ^ string_of_int (gen_small r 100)
+  | 2 -> String.make (1 + gen_small r 40) (Char.chr (gen_small r 256))
+  | 3 -> "a\x00b\nc"
+  | 4 -> String.init (gen_small r 24) (fun _ -> Char.chr (gen_small r 256))
+  | _ -> String.make (64 + gen_small r 512) 'x'
+
+let gen_f64 r =
+  pick r
+    [ 0.; -0.; 1.5; -1e300; 1e-300; infinity; neg_infinity; nan; 123.25 ]
+
+let gen_request r : P.request =
+  match gen_small r 5 with
+  | 0 ->
+      P.Hello
+        {
+          version = (if gen_small r 4 = 0 then gen_u32 r else P.version);
+          tenant = gen_string r;
+          caps = gen_u32 r;
+        }
+  | 1 ->
+      P.Submit
+        {
+          P.program = gen_string r;
+          backend = pick r [ ""; "openmp"; "compiled"; "nope"; gen_string r ];
+          workers = gen_u32 r;
+          reps = gen_u32 r;
+          fault = pick r [ ""; "kernel:raise@n=1"; gen_string r ];
+        }
+  | 2 -> P.Poll { ticket = gen_u32 r }
+  | 3 -> P.Stats
+  | _ -> P.Shutdown
+
+let gen_grid r =
+  let n = gen_small r 5 in
+  {
+    P.gname = gen_string r;
+    gshape = List.init (gen_small r 3) (fun _ -> 1 + gen_small r 4);
+    gdata = Array.init n (fun _ -> gen_f64 r);
+  }
+
+let gen_reply r : P.reply =
+  match gen_small r 8 with
+  | 0 -> P.Welcome { version = P.version; caps = gen_u32 r; server = gen_string r }
+  | 1 -> P.Accepted { ticket = gen_u32 r }
+  | 2 -> P.Busy { queue_depth = gen_u32 r }
+  | 3 -> P.Rejected { ticket = gen_u32 r; code = gen_string r; message = gen_string r }
+  | 4 -> P.Pending { ticket = gen_u32 r; running = gen_small r 2 = 0 }
+  | 5 ->
+      P.Result
+        {
+          ticket = gen_u32 r;
+          elapsed_us = gen_f64 r;
+          grids = List.init (gen_small r 3) (fun _ -> gen_grid r);
+        }
+  | 6 -> P.Stats_reply { json = gen_string r }
+  | _ -> P.Bye
+
+type message = Req of P.request | Rep of P.reply
+
+let gen_message r =
+  if gen_small r 2 = 0 then Req (gen_request r) else Rep (gen_reply r)
+
+let encode = function
+  | Req q -> P.encode_request q
+  | Rep p -> P.encode_reply p
+
+let gen_frame r = encode (gen_message r)
+
+(* ------------------------------------------------------------ mutation *)
+
+type mutation =
+  | Truncate  (** cut the tail, prefix re-fixed: EOF lands mid-field *)
+  | Length_lie  (** prefix disagrees with the payload actually present *)
+  | Tag_flip  (** unknown or mismatched tag byte *)
+  | U32_boundary  (** overwrite 4 bytes with a boundary value *)
+  | Str_inflate  (** a length field pointing past the end of the frame *)
+  | Trailing  (** extra bytes after a complete message, prefix re-fixed *)
+  | Splice  (** two frames fused under one prefix *)
+  | Bit_flip  (** one random bit, anywhere *)
+
+let mutations =
+  [
+    Truncate; Length_lie; Tag_flip; U32_boundary; Str_inflate; Trailing;
+    Splice; Bit_flip;
+  ]
+
+let mutation_name = function
+  | Truncate -> "truncate"
+  | Length_lie -> "length-lie"
+  | Tag_flip -> "tag-flip"
+  | U32_boundary -> "u32-boundary"
+  | Str_inflate -> "str-inflate"
+  | Trailing -> "trailing"
+  | Splice -> "splice"
+  | Bit_flip -> "bit-flip"
+
+let put_prefix b len =
+  Bytes.set_int32_be b 0 (Int32.of_int len)
+
+(* Rewrite the length prefix to match the payload actually present, so
+   the mutant is self-delimiting again: open_frame passes the length
+   check and the decoder walks into the damaged interior. *)
+let refix s =
+  let b = Bytes.of_string s in
+  put_prefix b (Bytes.length b - 4);
+  Bytes.unsafe_to_string b
+
+let payload_len s = String.length s - 4
+
+let mutate_with r m ~other s =
+  match m with
+  | Truncate ->
+      let keep = gen_small r (max 1 (payload_len s)) in
+      refix (String.sub s 0 (4 + keep))
+  | Length_lie ->
+      let b = Bytes.of_string s in
+      let lie =
+        pick r
+          [
+            0;
+            max 0 (payload_len s - 1);
+            payload_len s + 1;
+            P.max_frame + 1;
+            0xFFFF_FFFF;
+          ]
+      in
+      put_prefix b lie;
+      Bytes.unsafe_to_string b
+  | Tag_flip ->
+      let b = Bytes.of_string s in
+      if Bytes.length b > 4 then Bytes.set b 4 (Char.chr (gen_small r 256));
+      Bytes.unsafe_to_string b
+  | U32_boundary ->
+      let b = Bytes.of_string s in
+      if Bytes.length b >= 9 then begin
+        let off = 5 + gen_small r (max 1 (Bytes.length b - 8)) in
+        let off = min off (Bytes.length b - 4) in
+        Bytes.set_int32_be b off (Int32.of_int (gen_u32 r))
+      end;
+      Bytes.unsafe_to_string b
+  | Str_inflate ->
+      (* a length-looking u32 that points just past, or absurdly past,
+         the end of what is actually there *)
+      let b = Bytes.of_string s in
+      if Bytes.length b >= 9 then begin
+        let off = 5 + gen_small r (max 1 (Bytes.length b - 8)) in
+        let off = min off (Bytes.length b - 4) in
+        let remaining = Bytes.length b - off - 4 in
+        let lie =
+          pick r [ remaining + 1; remaining + 64; 0x00FF_FFFF; 0xFFFF_FFFF ]
+        in
+        Bytes.set_int32_be b off (Int32.of_int lie)
+      end;
+      Bytes.unsafe_to_string b
+  | Trailing ->
+      let extra = String.init (1 + gen_small r 8) (fun _ -> Char.chr (gen_small r 256)) in
+      refix (s ^ extra)
+  | Splice -> (
+      match other with
+      | Some o when String.length o > 4 ->
+          (* both payloads under one prefix: a valid message followed by
+             another message's bytes where the decoder expects the end *)
+          refix (s ^ String.sub o 4 (String.length o - 4))
+      | _ -> refix (s ^ String.sub s 4 (String.length s - 4)))
+  | Bit_flip ->
+      let b = Bytes.of_string s in
+      let off = gen_small r (Bytes.length b) in
+      Bytes.set b off
+        (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl gen_small r 8)));
+      Bytes.unsafe_to_string b
+
+let mutate r ?other s =
+  let m = pick r mutations in
+  (m, mutate_with r m ~other s)
+
+(* A mutant that still announces exactly the bytes present, for feeding
+   to a live server without wedging its blocking frame read.  Length
+   lies are the one family this excludes (by construction they desync
+   the stream); they are exercised against the pure decoders and via
+   the mid-frame-disconnect session op instead. *)
+let mutate_framed r ?other s =
+  let m =
+    pick r
+      [ Truncate; Tag_flip; U32_boundary; Str_inflate; Trailing; Splice ]
+  in
+  let s' = mutate_with r m ~other s in
+  (m, refix s')

@@ -1,0 +1,48 @@
+(** Structure-aware generation and mutation of sfserved wire frames.
+
+    Valid frames are built by {!Sf_serve.Protocol.encode_request} /
+    [encode_reply] over randomized messages (boundary u32s, hostile
+    strings, non-finite floats), then damaged by exactly one structural
+    lie at a time: truncation, length-prefix lies, tag flips, u32
+    boundary overwrites, string-length inflation, trailing bytes,
+    frame splices, single bit flips.  Deterministic in the seed, which
+    is what makes fuzz findings replayable. *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+(** Fresh deterministic stream for one campaign or one corpus case. *)
+
+val gen_request : rng -> Sf_serve.Protocol.request
+val gen_reply : rng -> Sf_serve.Protocol.reply
+
+type message = Req of Sf_serve.Protocol.request | Rep of Sf_serve.Protocol.reply
+
+val gen_message : rng -> message
+val encode : message -> string
+
+val gen_frame : rng -> string
+(** One complete, well-formed frame (random request or reply). *)
+
+type mutation =
+  | Truncate  (** cut the tail, prefix re-fixed: EOF lands mid-field *)
+  | Length_lie  (** prefix disagrees with the payload actually present *)
+  | Tag_flip  (** unknown or mismatched tag byte *)
+  | U32_boundary  (** overwrite 4 bytes with a boundary value *)
+  | Str_inflate  (** a length field pointing past the end of the frame *)
+  | Trailing  (** extra bytes after a complete message, prefix re-fixed *)
+  | Splice  (** two frames fused under one prefix *)
+  | Bit_flip  (** one random bit, anywhere *)
+
+val mutation_name : mutation -> string
+
+val mutate : rng -> ?other:string -> string -> mutation * string
+(** Damage one frame; [other] is spliced in when the [Splice] mutation
+    is drawn.  The result may lie about its own length — feed it to the
+    pure decoders, not a live socket. *)
+
+val mutate_framed : rng -> ?other:string -> string -> mutation * string
+(** Like {!mutate}, but the result always announces exactly the payload
+    bytes present, so it can be written to a live server connection
+    without desyncing its blocking frame reads.  Never draws
+    [Length_lie] or [Bit_flip]. *)

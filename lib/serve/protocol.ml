@@ -265,18 +265,29 @@ let decode_reply s =
       let elapsed_us = get_f64 c "elapsed_us" in
       let ngrids = get_u32 c "ngrids" in
       if ngrids > 4096 then raise (Bad "implausible grid count");
-      let grids =
-        List.init ngrids (fun _ ->
-            let gname = get_str c "grid name" in
-            let rank = get_u32 c "rank" in
-            if rank > 16 then raise (Bad "implausible grid rank");
-            let gshape = List.init rank (fun _ -> get_u32 c "extent") in
-            let n = get_u32 c "grid size" in
-            need c (8 * n) "grid data";
-            let gdata = Array.init n (fun _ -> get_f64 c "cell") in
-            { gname; gshape; gdata })
-      in
-      finish c (Result { ticket; elapsed_us; grids })
+      (* Explicit in-order loops, not Array.init/List.init: the reads
+         side-effect the cursor, and init's argument-evaluation order is
+         unspecified before OCaml 5.1 — on older stdlibs an init-based
+         read can scramble shapes and cell data.  The byte-for-byte
+         golden in test_serve pins this ordering. *)
+      let grids = ref [] in
+      for _ = 1 to ngrids do
+        let gname = get_str c "grid name" in
+        let rank = get_u32 c "rank" in
+        if rank > 16 then raise (Bad "implausible grid rank");
+        let rshape = ref [] in
+        for _ = 1 to rank do
+          rshape := get_u32 c "extent" :: !rshape
+        done;
+        let n = get_u32 c "grid size" in
+        need c (8 * n) "grid data";
+        let gdata = Array.make n 0. in
+        for i = 0 to n - 1 do
+          gdata.(i) <- get_f64 c "cell"
+        done;
+        grids := { gname; gshape = List.rev !rshape; gdata } :: !grids
+      done;
+      finish c (Result { ticket; elapsed_us; grids = List.rev !grids })
     end
     else if tag = tag_stats_reply then
       finish c (Stats_reply { json = get_str c "json" })
@@ -293,20 +304,25 @@ let rec retry_read fd buf off len =
   | n -> n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd buf off len
 
-let read_exact fd n =
+(* [what] names where a short read landed: an EOF inside the 4-byte
+   length prefix and an EOF inside the announced payload are different
+   failures (the first is a peer dying between frames mid-header, the
+   second a peer dying mid-message), and the fuzzer asserts they stay
+   distinguishable. *)
+let read_exact fd n ~what =
   let buf = Bytes.create n in
   let rec go off =
     if off = n then Some (Bytes.unsafe_to_string buf)
     else
       match retry_read fd buf off (n - off) with
-      | 0 -> if off = 0 then None else raise (Bad "EOF mid-frame")
+      | 0 -> if off = 0 then None else raise (Bad ("EOF inside " ^ what))
       | k -> go (off + k)
   in
   go 0
 
 let read_frame fd =
   try
-    match read_exact fd 4 with
+    match read_exact fd 4 ~what:"length prefix" with
     | None -> Ok None
     | Some prefix -> (
         let len =
@@ -315,8 +331,8 @@ let read_frame fd =
         if len > max_frame then
           Error (Printf.sprintf "incoming frame of %d bytes exceeds max" len)
         else
-          match read_exact fd len with
-          | None -> Error "EOF mid-frame"
+          match read_exact fd len ~what:"frame payload" with
+          | None -> Error "EOF inside frame payload"
           | Some payload -> Ok (Some (prefix ^ payload)))
   with
   | Bad m -> Error m
@@ -327,11 +343,20 @@ exception Closed
 let write_frame fd s =
   let buf = Bytes.unsafe_of_string s in
   let n = Bytes.length buf in
+  let wait_writable () =
+    try ignore (Unix.select [] [ fd ] [] 1.0)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
   let rec go off =
     if off < n then
       match Unix.write fd buf off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* the contract is a blocking fd, but tolerate one handed to us
+             in non-blocking mode: park until writable, then retry *)
+          wait_writable ();
+          go off
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
           raise Closed
   in

@@ -114,8 +114,17 @@ val decode_reply : string -> (reply, string) result
 
 (** {2 Frame I/O}
 
-    Blocking, retrying on [EINTR]; a short read mid-frame is an error
-    (the peer died mid-message), a clean EOF before any byte is [None]. *)
+    The contract is a {e blocking} file descriptor, retrying on [EINTR].
+    A descriptor left in non-blocking mode is tolerated on the write
+    side: [write_frame] parks in [select] on [EAGAIN]/[EWOULDBLOCK] and
+    retries, so a frame is always either written whole or fails with a
+    real error — never torn by a spurious would-block.
+
+    A short read mid-frame is an error (the peer died mid-message), a
+    clean EOF before any byte is [None].  Where the EOF landed stays
+    distinguishable: ["EOF inside length prefix"] (died between frames,
+    mid-header) vs ["EOF inside frame payload"] (died mid-message) —
+    the protocol fuzzer pins both paths. *)
 
 val read_frame : Unix.file_descr -> (string option, string) result
 (** One complete frame (prefix included), ready for [decode_*]. *)

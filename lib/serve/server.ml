@@ -28,6 +28,8 @@ type config = {
   quota : Session.quota;
   backend : Jit.backend;
   workers : int;
+  max_workers : int;
+  max_reps : int;
   max_program_bytes : int;
   allow_faults : bool;
   allow_shutdown : bool;
@@ -40,6 +42,10 @@ let default_config =
     quota = Session.default_quota;
     backend = Jit.Openmp;
     workers = 1;
+    (* the pool itself tops out at ~120 helper domains; anything above
+       this is a hostile or broken client, not a plausible solve *)
+    max_workers = 128;
+    max_reps = 4096;
     max_program_bytes = 1024 * 1024;
     allow_faults = true;
     allow_shutdown = true;
@@ -448,7 +454,19 @@ let resolve_backend t = function
 let reject ?(ticket = 0) code message = P.Rejected { ticket; code; message }
 
 let handle_submit t session (s : P.submit) =
-  if String.length s.P.program > t.cfg.max_program_bytes then
+  (* workers/reps arrive as raw u32s (up to 0xFFFFFFFF) and flow toward
+     the pool and the time-tiled JIT: bound them *before* anything is
+     parsed, compiled or charged against a quota.  0 means "server
+     default" for both. *)
+  if s.P.workers > t.cfg.max_workers then
+    reject P.err_parse
+      (Printf.sprintf "SUBMIT.workers: %d exceeds limit %d" s.P.workers
+         t.cfg.max_workers)
+  else if s.P.reps > t.cfg.max_reps then
+    reject P.err_parse
+      (Printf.sprintf "SUBMIT.reps: %d exceeds limit %d" s.P.reps
+         t.cfg.max_reps)
+  else if String.length s.P.program > t.cfg.max_program_bytes then
     reject P.err_too_large
       (Printf.sprintf "program of %d bytes exceeds limit %d"
          (String.length s.P.program) t.cfg.max_program_bytes)

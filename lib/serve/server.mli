@@ -26,6 +26,12 @@ type config = {
   quota : Session.quota;  (** applied to tenants on first contact *)
   backend : Sf_backends.Jit.backend;  (** default when a SUBMIT names none *)
   workers : int;  (** default [Config.workers] for solves *)
+  max_workers : int;
+      (** admission ceiling on [SUBMIT.workers] — the field is a raw
+          u32 on the wire, so a hostile tenant can ask for 4-billion
+          worker solves; anything above this is [err_parse]-rejected
+          before parse, compile or quota charging *)
+  max_reps : int;  (** admission ceiling on [SUBMIT.reps], same story *)
   max_program_bytes : int;
   allow_faults : bool;  (** grant [cap_faults] *)
   allow_shutdown : bool;  (** grant [cap_shutdown] *)
@@ -33,7 +39,8 @@ type config = {
 
 val default_config : config
 (** 2 executor threads, queue of 64, default quota, [openmp] x 1 worker,
-    1 MiB programs, faults and shutdown allowed. *)
+    at most 128 workers / 4096 reps per request, 1 MiB programs, faults
+    and shutdown allowed. *)
 
 type t
 

@@ -528,6 +528,225 @@ let test_bitwise_vs_standalone () =
             [ 46; 47; 48 ])
         [ 1; 4 ])
 
+(* ------------------------------------- protocol-fuzz satellite pins *)
+
+(* Multi-grid RESULT pinned byte-for-byte.  The decoder used to build
+   grids with List.init/Array.init over a side-effecting cursor, whose
+   evaluation order is unspecified before OCaml 5.1 — an order flip
+   would silently permute shapes and cells.  The golden pins the
+   explicit in-order loops. *)
+let test_multigrid_result_golden () =
+  let reply =
+    P.Result
+      {
+        ticket = 3;
+        elapsed_us = 2.5;
+        grids =
+          [
+            {
+              P.gname = "u";
+              gshape = [ 2; 3 ];
+              gdata = [| 0.; 1.; 2.; 3.; 4.; 5. |];
+            };
+            { P.gname = "rhs"; gshape = [ 2 ]; gdata = [| 7.5; -1. |] };
+          ];
+      }
+  in
+  let expect =
+    "00000079860000000340040000000000000000000200000001750000000200000002\
+     0000000300000006000000000000000\
+     03ff000000000000040000000000000004008000000000000\
+     4010000000000000401400000000000000000003726873000000010000000200000002\
+     401e000000000000bff0000000000000"
+  in
+  Alcotest.(check string)
+    "multi-grid RESULT frame" expect
+    (hex (P.encode_reply reply));
+  match P.decode_reply (unhex expect) with
+  | Ok got ->
+      Alcotest.(check bool)
+        "decodes to the same grids, shapes and cells in order" true
+        (got = reply)
+  | Error m -> Alcotest.failf "golden did not decode: %s" m
+
+(* SUBMIT.workers/.reps are raw u32s on the wire; admission must bound
+   them before any parse, compile or quota work. *)
+let test_admission_limits () =
+  let _, program = spec_program 45 in
+  let config =
+    { Server.default_config with Server.max_workers = 4; max_reps = 8 }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"limits" (fun c ->
+          (match
+             Client.submit c
+               { (clean_submit program) with P.workers = 0xFFFF_FFFF }
+           with
+          | Ok (P.Rejected { code; message; _ }) ->
+              Alcotest.(check string) "workers code" P.err_parse code;
+              Alcotest.(check bool)
+                "message names the field" true
+                (String.length message >= 7
+                && String.sub message 0 7 = "SUBMIT.")
+          | _ -> Alcotest.fail "4-billion-worker submit admitted");
+          (match
+             Client.submit c { (clean_submit program) with P.reps = 0xFFFF_FFFF }
+           with
+          | Ok (P.Rejected { code; _ }) ->
+              Alcotest.(check string) "reps code" P.err_parse code
+          | _ -> Alcotest.fail "4-billion-rep submit admitted");
+          (* at the limit is not over it *)
+          match Client.solve c { (clean_submit program) with P.workers = 4 } with
+          | Ok (Client.Solved _) -> ()
+          | Ok (Client.Failed { code; message }) ->
+              Alcotest.failf "at-limit solve failed %s: %s" code message
+          | Error m -> Alcotest.failf "transport: %s" m))
+
+(* Where an EOF lands must stay diagnosable: between frames / inside the
+   4-byte length prefix vs inside an announced payload are different
+   failure stories and carry different error strings. *)
+let test_eof_error_paths () =
+  let run_case bytes =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let n = Unix.write_substring a bytes 0 (String.length bytes) in
+    Alcotest.(check int) "partial frame written" (String.length bytes) n;
+    Unix.close a;
+    let r = P.read_frame b in
+    Unix.close b;
+    r
+  in
+  (match run_case "\x00\x00" with
+  | Error m ->
+      Alcotest.(check string) "died mid-prefix" "EOF inside length prefix" m
+  | Ok _ -> Alcotest.fail "2-byte prefix should not read");
+  (match run_case "\x00\x00\x00\x05\x03\x00" with
+  | Error m ->
+      Alcotest.(check string) "died mid-payload" "EOF inside frame payload" m
+  | Ok _ -> Alcotest.fail "truncated payload should not read");
+  (* a clean EOF between frames stays None, not an error *)
+  match run_case "" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "clean EOF should be None"
+
+(* write_frame against a non-blocking descriptor: a frame bigger than
+   the socket buffer forces EAGAIN mid-write; the select-park-retry path
+   must deliver the frame whole to a slow reader. *)
+let test_write_frame_nonblocking () =
+  let frame =
+    P.encode_reply
+      (P.Result
+         {
+           ticket = 1;
+           elapsed_us = 0.;
+           grids =
+             [
+               {
+                 P.gname = "big";
+                 gshape = [ 300_000 ];
+                 gdata = Array.init 300_000 float_of_int;
+               };
+             ];
+         })
+  in
+  let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock c_fd;
+  let got = ref (Error "reader never ran") in
+  let reader =
+    Thread.create
+      (fun () ->
+        (* park long enough that the writer certainly fills the socket
+           buffer and hits EAGAIN before any byte is drained *)
+        Thread.delay 0.2;
+        got := P.read_frame s_fd)
+      ()
+  in
+  P.write_frame c_fd frame;
+  Thread.join reader;
+  Unix.close c_fd;
+  Unix.close s_fd;
+  match !got with
+  | Ok (Some read_back) ->
+      Alcotest.(check bool)
+        "frame arrived whole and bitwise intact" true (read_back = frame)
+  | Ok None -> Alcotest.fail "reader saw EOF"
+  | Error m -> Alcotest.failf "reader failed: %s" m
+
+(* Ticket isolation across tenants, pinned in all three lifecycle
+   states: another tenant polling your Queued, Running or Done ticket
+   must be REJECTED, and the ticket must stay claimable by you. *)
+let test_cross_tenant_isolation () =
+  let _, program = spec_program 54 in
+  let config =
+    { Server.default_config with Server.threads = 1; queue_cap = 4 }
+  in
+  with_server ~config (fun t ->
+      with_conn t ~tenant:"iso-a" (fun ca ->
+          with_conn t ~tenant:"iso-b" (fun cb ->
+              let foreign_rejected what ticket =
+                match Client.poll cb ticket with
+                | Ok (P.Rejected { code; _ }) ->
+                    Alcotest.(check string)
+                      (what ^ " poll rejected") P.err_proto code
+                | Ok (P.Result _) ->
+                    Alcotest.failf "tenant B claimed A's %s result" what
+                | Ok (P.Pending _) ->
+                    Alcotest.failf "tenant B saw A's %s status" what
+                | _ -> Alcotest.failf "unexpected reply to %s poll" what
+              in
+              (* Running: a delay fault parks A's solve on the only
+                 executor; Queued: the next submit waits behind it *)
+              let slow =
+                { (clean_submit program) with P.fault = "kernel:delay=0.4" }
+              in
+              let running_ticket =
+                match Client.submit ca slow with
+                | Ok (P.Accepted { ticket }) -> ticket
+                | _ -> Alcotest.fail "slow submit not accepted"
+              in
+              let rec await_running () =
+                match Client.poll ca running_ticket with
+                | Ok (P.Pending { running = true; _ }) -> ()
+                | Ok (P.Pending { running = false; _ }) ->
+                    Thread.delay 0.005;
+                    await_running ()
+                | _ -> Alcotest.fail "unexpected poll while waiting"
+              in
+              await_running ();
+              let queued_ticket =
+                match Client.submit ca (clean_submit program) with
+                | Ok (P.Accepted { ticket }) -> ticket
+                | _ -> Alcotest.fail "queued submit not accepted"
+              in
+              foreign_rejected "running" running_ticket;
+              foreign_rejected "queued" queued_ticket;
+              (* both still claimable by their owner *)
+              (match Client.wait ca running_ticket with
+              | Ok (Client.Solved _) -> ()
+              | _ -> Alcotest.fail "A lost its running ticket");
+              (match Client.wait ca queued_ticket with
+              | Ok (Client.Solved _) -> ()
+              | _ -> Alcotest.fail "A lost its queued ticket");
+              (* Done: solve, let it complete unclaimed, then B tries *)
+              let done_ticket =
+                match Client.submit ca (clean_submit program) with
+                | Ok (P.Accepted { ticket }) -> ticket
+                | _ -> Alcotest.fail "third submit not accepted"
+              in
+              let rec await_done n =
+                if n = 0 then Alcotest.fail "third solve never completed"
+                else if tenant_completed ca "iso-a" < 3. then begin
+                  Thread.delay 0.01;
+                  await_done (n - 1)
+                end
+              in
+              await_done 1000;
+              foreign_rejected "done" done_ticket;
+              match Client.poll ca done_ticket with
+              | Ok (P.Result _) -> ()
+              | _ ->
+                  Alcotest.fail
+                    "A's done ticket was not claimable after B's probe")))
+
 (* --------------------------------------------- pool at_exit regression *)
 
 (* pool_exit_check exits 3 when the interesting schedule happened (exit
@@ -637,6 +856,14 @@ let () =
             test_listen_refuses_live_socket;
           Alcotest.test_case "bitwise vs standalone" `Quick
             test_bitwise_vs_standalone;
+          Alcotest.test_case "multi-grid RESULT golden" `Quick
+            test_multigrid_result_golden;
+          Alcotest.test_case "admission limits" `Quick test_admission_limits;
+          Alcotest.test_case "EOF error paths" `Quick test_eof_error_paths;
+          Alcotest.test_case "non-blocking write_frame" `Quick
+            test_write_frame_nonblocking;
+          Alcotest.test_case "cross-tenant isolation" `Quick
+            test_cross_tenant_isolation;
         ] );
       ( "regressions",
         [
